@@ -1,0 +1,73 @@
+// E11 — the hypergraph open problem (§6): philosophers needing d >= 2 forks.
+//
+// Paper: "Another open problem ... the even more general case of
+// hypergraph-like connection structures, in which a philosopher may need
+// more than two forks to eat." GDP-H extends GDP1's random partial-order
+// idea to d forks (see gdp/algos/gdp_hyper.hpp). Expected shape: progress
+// and (empirically) no starvation on thick rings and random hypergraphs;
+// throughput falls as d grows (longer conflict chains); d = 2 matches GDP1.
+#include "bench_util.hpp"
+
+#include "gdp/algos/gdp_hyper.hpp"
+#include "gdp/common/strings.hpp"
+#include "gdp/graph/hypergraph.hpp"
+#include "gdp/stats/online.hpp"
+
+using namespace gdp;
+
+int main() {
+  bench::banner("E11: hypergraph extension (GDP-H)",
+                "section 6 future work (d-fork philosophers)",
+                "progress everywhere; throughput decreases with arity d");
+
+  constexpr std::uint64_t kSteps = 300'000;
+  constexpr int kTrials = 8;
+
+  std::printf("(a) thick rings: philosopher i needs forks i..i+d-1 (mod k):\n");
+  stats::Table rings({"k", "d", "meals (mean)", "everyone ate", "first meal", "deadlocks"});
+  for (const auto& [k, d] : std::vector<std::pair<int, int>>{
+           {8, 2}, {8, 3}, {8, 4}, {8, 5}, {12, 3}, {12, 6}, {16, 4}}) {
+    stats::OnlineStats meals, first;
+    bool everyone = true;
+    bool deadlock = false;
+    for (int i = 0; i < kTrials; ++i) {
+      rng::Rng rng(static_cast<std::uint64_t>(1000 * k + 10 * d + i));
+      algos::HyperConfig cfg;
+      cfg.max_steps = kSteps;
+      const auto r = algos::run_gdp_hyper(graph::hyper_ring(k, d), rng, cfg);
+      meals.add(static_cast<double>(r.total_meals));
+      if (r.first_meal_step != ~std::uint64_t{0}) first.add(static_cast<double>(r.first_meal_step));
+      everyone = everyone && r.everyone_ate();
+      deadlock = deadlock || r.deadlocked;
+    }
+    rings.add_row({std::to_string(k), std::to_string(d), format_double(meals.mean(), 0),
+                   everyone ? "yes" : "NO", format_double(first.mean(), 1),
+                   deadlock ? "DEADLOCK" : "none"});
+  }
+  rings.print();
+
+  std::printf("\n(b) random hypergraphs (k forks, n philosophers, arity d):\n");
+  stats::Table rand_table({"k", "n", "d", "meals (mean)", "everyone ate", "deadlocks"});
+  rng::Rng topo_rng(42);
+  for (const auto& [k, n, d] : std::vector<std::tuple<int, int, int>>{
+           {8, 10, 3}, {10, 14, 3}, {10, 10, 4}, {12, 16, 5}}) {
+    stats::OnlineStats meals;
+    bool everyone = true;
+    bool deadlock = false;
+    for (int i = 0; i < kTrials; ++i) {
+      const auto t = graph::hyper_random(k, n, d, topo_rng);
+      rng::Rng rng(static_cast<std::uint64_t>(77 * i + 3));
+      algos::HyperConfig cfg;
+      cfg.max_steps = kSteps;
+      const auto r = algos::run_gdp_hyper(t, rng, cfg);
+      meals.add(static_cast<double>(r.total_meals));
+      everyone = everyone && r.everyone_ate();
+      deadlock = deadlock || r.deadlocked;
+    }
+    rand_table.add_row({std::to_string(k), std::to_string(n), std::to_string(d),
+                        format_double(meals.mean(), 0), everyone ? "yes" : "NO",
+                        deadlock ? "DEADLOCK" : "none"});
+  }
+  rand_table.print();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E2 — the §3 counterexample: a fair adversary defeats LR1 (and LR2) on the
+// leftmost Figure-1 system, with probability >= 1/4.
+//
+// Paper: "the probability of a computation of this kind is 1/4 ... the
+// scheduler can eventually induce a cycle like the above one with
+// probability 1" and the fairness repair with budgets n_k and success
+// probability (1/4)·prod(1 - p^k) >= 1/16.
+//
+// We run the scripted TrapFig1a adversary many times and report the
+// no-progress frequency with a Wilson 95% interval, sweeping the
+// stubbornness budget. Expected shape: the trapped fraction clears 1/4 for
+// reasonable budgets (our setup is adaptive: first draw free by symmetry),
+// degrades as budgets shrink, and the same adversary defeats LR2.
+#include "bench_util.hpp"
+
+#include "gdp/common/strings.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/sim/schedulers/trap_fig1a.hpp"
+#include "gdp/stats/ci.hpp"
+
+using namespace gdp;
+
+namespace {
+
+struct TrapStats {
+  int trials = 0;
+  int trapped = 0;
+  std::uint64_t total_rounds = 0;
+};
+
+TrapStats measure(const std::string& algo_name, int trials, int stubborn_base,
+                  std::uint64_t steps) {
+  TrapStats out;
+  out.trials = trials;
+  const auto t = graph::fig1a();
+  for (int i = 0; i < trials; ++i) {
+    const auto algo = algos::make_algorithm(algo_name);
+    sim::TrapFig1a trap(sim::TrapFig1a::Config{.stubborn_base = stubborn_base, .stubborn_inc = 1});
+    rng::Rng rng(static_cast<std::uint64_t>(40'000 + 977 * i));
+    sim::EngineConfig cfg;
+    cfg.max_steps = steps;
+    const auto r = sim::run(*algo, t, trap, rng, cfg);
+    if (trap.trapped() && r.total_meals == 0) {
+      ++out.trapped;
+      out.total_rounds += trap.rounds();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E2: the LR1 trap on fig1a (States 1-6)",
+                "section 3 inline example + the 1/4 probability bound",
+                "P(no-progress) >= 1/4; trapped runs rotate forever; LR2 equally trapped");
+
+  constexpr int kTrials = 400;
+  constexpr std::uint64_t kSteps = 25'000;
+
+  stats::Table table({"algorithm", "stubborn n_0", "trapped", "fraction", "wilson 95%",
+                      "mean rounds", "beats 1/4?"});
+  for (const std::string algo : {"lr1", "lr2"}) {
+    for (int base : {4, 8, 16, 32}) {
+      const auto s = measure(algo, kTrials, base, kSteps);
+      const auto ci = stats::wilson(static_cast<std::uint64_t>(s.trapped),
+                                    static_cast<std::uint64_t>(s.trials));
+      const double fraction = static_cast<double>(s.trapped) / s.trials;
+      const double mean_rounds =
+          s.trapped == 0 ? 0.0 : static_cast<double>(s.total_rounds) / s.trapped;
+      table.add_row({algo, std::to_string(base),
+                     std::to_string(s.trapped) + "/" + std::to_string(s.trials),
+                     format_double(fraction, 3),
+                     "[" + format_double(ci.low, 3) + ", " + format_double(ci.high, 3) + "]",
+                     format_double(mean_rounds, 0), ci.low > 0.25 ? "yes" : "no"});
+    }
+    table.add_rule();
+  }
+  table.print();
+
+  std::printf("\nControl: GDP1 under the same adversary object (falls back fair):\n");
+  {
+    const auto t = graph::fig1a();
+    const auto gdp1 = algos::make_algorithm("gdp1");
+    sim::TrapFig1a trap;
+    rng::Rng rng(7);
+    sim::EngineConfig cfg;
+    cfg.max_steps = 50'000;
+    const auto r = sim::run(*gdp1, t, trap, rng, cfg);
+    std::printf("  gdp1 meals in 50k steps: %llu (Theorem 3: progress cannot be stopped)\n",
+                static_cast<unsigned long long>(r.total_meals));
+  }
+  return 0;
+}

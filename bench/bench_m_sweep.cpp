@@ -1,0 +1,82 @@
+// E10 — the efficiency question the paper leaves open (§6: "we have not
+// addressed any efficiency issue").
+//
+// We quantify GDP's costs in the simulator: effect of the numbering range m
+// on time-to-first-meal and steady-state throughput, GDP2's courtesy
+// overhead over GDP1, and scaling with topology size. Expected shape:
+// m ≈ k is already enough (larger m helps convergence slightly); the
+// courteous variants trade throughput for bounded hunger; steady-state
+// throughput scales with the number of non-conflicting philosopher pairs.
+#include "bench_util.hpp"
+
+#include "gdp/common/strings.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/stats/online.hpp"
+
+using namespace gdp;
+
+namespace {
+
+struct Sweep {
+  stats::OnlineStats first_meal;
+  stats::OnlineStats meals;
+  stats::OnlineStats max_hunger;
+};
+
+Sweep sweep(const std::string& name, const graph::Topology& t, int m, int trials,
+            std::uint64_t steps) {
+  Sweep out;
+  for (int i = 0; i < trials; ++i) {
+    const auto algo = algos::make_algorithm(name, algos::AlgoConfig{.m = m});
+    sim::RandomUniform sched;
+    rng::Rng rng(static_cast<std::uint64_t>(31 * i + 7));
+    sim::EngineConfig cfg;
+    cfg.max_steps = steps;
+    const auto r = sim::run(*algo, t, sched, rng, cfg);
+    if (r.first_meal_step != sim::kNever) out.first_meal.add(static_cast<double>(r.first_meal_step));
+    out.meals.add(static_cast<double>(r.total_meals));
+    out.max_hunger.add(static_cast<double>(r.max_hunger()));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E10: efficiency (the paper's open question)",
+                "section 6 ('evaluation of the complexity ... open topics')",
+                "m ~ k suffices; courtesy costs throughput but bounds hunger");
+
+  constexpr int kTrials = 15;
+  constexpr std::uint64_t kSteps = 60'000;
+
+  std::printf("(a) numbering range m on fig1a (k = 3):\n");
+  stats::Table ms({"m", "first meal (mean steps)", "meals / 60k steps", "max hunger"});
+  for (int m : {3, 4, 6, 12, 24, 96}) {
+    const auto s = sweep("gdp1", graph::fig1a(), m, kTrials, kSteps);
+    ms.add_row({std::to_string(m), format_double(s.first_meal.mean(), 1),
+                format_double(s.meals.mean(), 0), format_double(s.max_hunger.mean(), 0)});
+  }
+  ms.print();
+
+  std::printf("\n(b) courtesy overhead (m = k), fig1b (12 philosophers):\n");
+  stats::Table ov({"algorithm", "meals / 60k steps", "max hunger", "relative throughput"});
+  double base = 0.0;
+  for (const std::string name : {"gdp1", "gdp2", "gdp2c", "lr1", "lr2"}) {
+    const auto s = sweep(name, graph::fig1b(), 0, kTrials, kSteps);
+    if (name == "gdp1") base = s.meals.mean();
+    ov.add_row({name, format_double(s.meals.mean(), 0), format_double(s.max_hunger.mean(), 0),
+                format_double(base > 0 ? s.meals.mean() / base : 0.0, 2)});
+  }
+  ov.print();
+
+  std::printf("\n(c) scaling with ring size (gdp1, m = k):\n");
+  stats::Table sc({"ring n", "meals / 60k steps", "meals per phil", "first meal"});
+  for (int n : {4, 8, 16, 32, 64}) {
+    const auto s = sweep("gdp1", graph::classic_ring(n), 0, 8, kSteps);
+    sc.add_row({std::to_string(n), format_double(s.meals.mean(), 0),
+                format_double(s.meals.mean() / n, 1), format_double(s.first_meal.mean(), 1)});
+  }
+  sc.print();
+  return 0;
+}

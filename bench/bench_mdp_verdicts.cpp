@@ -1,0 +1,73 @@
+// E5 — the machine-checked theorem table (Theorems 1-4 on small instances).
+//
+// For every (algorithm x topology) pair small enough to explore exhaustively
+// we report: progress under every fair adversary (Theorem 3's property),
+// lockout-freedom for every philosopher (Theorem 4's property), state
+// counts, and the expected steps-to-first-meal under the uniform fair
+// scheduler. Expected shape:
+//   lr1: progress on rings only; never lockout-free;
+//   lr2: progress except on Theorem-2 graphs; lockout-free on rings;
+//   gdp1: progress everywhere; not lockout-free (§5);
+//   gdp2 (Table 4 literal): progress everywhere; NOT lockout-free on the
+//        ring — the reproduction erratum (Cond skipped on the second take);
+//   gdp2c (prose-faithful): progress + lockout-freedom everywhere checked.
+#include "bench_util.hpp"
+
+#include "gdp/common/strings.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/mdp/chain_analysis.hpp"
+#include "gdp/mdp/fair_progress.hpp"
+
+using namespace gdp;
+
+int main() {
+  bench::banner("E5: model-checked verdicts (Theorems 1-4)",
+                "Theorems 1, 2, 3, 4 (+ the Table 4 erratum)",
+                "see header comment of this file");
+
+  const graph::Topology topologies[] = {graph::classic_ring(3), graph::parallel_arcs(3),
+                                        graph::ring_with_pendant(3)};
+  const std::string algorithms[] = {"lr1", "lr2", "gdp1", "gdp2", "gdp2c"};
+
+  stats::Table table({"algorithm", "topology", "states", "progress", "lockout-free",
+                      "E[steps to 1st meal] (uniform)"});
+  for (const std::string& name : algorithms) {
+    for (const auto& t : topologies) {
+      const auto algo = algos::make_algorithm(name);
+      // The book-keeping algorithms explode on ring+pendant (> 4M states);
+      // a tighter cap keeps the run short and the rows honestly "unknown".
+      const std::size_t cap = (name == "gdp2" || name == "gdp2c") ? 1'000'000 : 4'000'000;
+      const auto model = mdp::explore(*algo, t, cap);
+      const auto progress = mdp::check_fair_progress(model);
+
+      bool lockout_free = true;
+      bool lockout_known = true;
+      for (PhilId v = 0; v < t.num_phils(); ++v) {
+        const auto lf = mdp::check_lockout_freedom(model, v);
+        if (lf.verdict == mdp::Verdict::kUnknownTruncated) lockout_known = false;
+        if (lf.verdict == mdp::Verdict::kProgressFails) lockout_free = false;
+      }
+
+      mdp::ChainAnalysis chain;
+      if (!model.truncated()) chain = mdp::analyze_uniform_chain(model);
+      auto verdict_str = [](mdp::Verdict v) {
+        switch (v) {
+          case mdp::Verdict::kProgressCertain: return "yes (certified)";
+          case mdp::Verdict::kProgressFails: return "NO (trap found)";
+          default: return "unknown";
+        }
+      };
+      table.add_row({name, t.name(), std::to_string(model.num_states()),
+                     verdict_str(progress.verdict),
+                     !lockout_known ? "unknown" : (lockout_free ? "yes (certified)" : "NO"),
+                     chain.expected_converged ? format_double(chain.expected_steps, 1) : "n/a"});
+    }
+    table.add_rule();
+  }
+  table.print();
+
+  std::printf("\nReading guide: 'NO (trap found)' = a reachable fair end component avoiding\n"
+              "the eating set exists — a fair adversary region realizing the paper's\n"
+              "hand-built strategies. gdp2 vs gdp2c isolates the Table 4 erratum.\n");
+  return 0;
+}

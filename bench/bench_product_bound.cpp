@@ -1,0 +1,65 @@
+// E8 — the §3 fairness repair: numerical verification of the bounds
+//
+//   prod_{k=1..m} (1 - p^k) >= 1 - p - p^2 + p^{m+1}   (induction step)
+//   prod_{k=1..inf} (1 - p^k) >= 1 - p - p^2            (limit)
+//   and for p <= 1/2:  1 - p - p^2 >= 1/4.
+//
+// These justify that the stubbornness-capped adversary stays fair while
+// keeping the no-progress probability >= (1/4) * prod(1 - p^k) >= 1/16.
+// Expected shape: every inequality holds for all sampled p and m, with the
+// bound tight as p -> 1/2.
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "gdp/common/strings.hpp"
+
+using namespace gdp;
+
+namespace {
+
+double finite_product(double p, int m) {
+  double prod = 1.0;
+  double pk = p;
+  for (int k = 1; k <= m; ++k) {
+    prod *= (1.0 - pk);
+    pk *= p;
+  }
+  return prod;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E8: the product bound of the fairness repair",
+                "section 3: prod(1 - p^k) >= 1 - p - p^2 (and >= 1/4 for p <= 1/2)",
+                "all inequalities hold numerically; bound tightens as p -> 1/2");
+
+  stats::Table table({"p", "m", "prod(1-p^k)", "1-p-p^2+p^(m+1)", "1-p-p^2", "induction ok",
+                      "limit ok"});
+  bool all_hold = true;
+  for (double p : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    for (int m : {1, 2, 5, 10, 100, 10'000, 1'000'000}) {
+      const double prod = finite_product(p, m);
+      const double induction_rhs = 1.0 - p - p * p + std::pow(p, m + 1);
+      const double limit_rhs = 1.0 - p - p * p;
+      const bool induction_ok = prod + 1e-12 >= induction_rhs;
+      const bool limit_ok = prod + 1e-12 >= limit_rhs;
+      all_hold = all_hold && induction_ok && limit_ok;
+      if (m == 1 || m == 10 || m == 1'000'000) {
+        table.add_row({format_double(p, 2), std::to_string(m), format_double(prod, 6),
+                       format_double(induction_rhs, 6), format_double(limit_rhs, 6),
+                       induction_ok ? "yes" : "NO", limit_ok ? "yes" : "NO"});
+      }
+    }
+    table.add_rule();
+  }
+  table.print();
+
+  std::printf("\nAll inequalities hold: %s\n", all_hold ? "yes" : "NO");
+  std::printf("For p = 1/2: 1 - p - p^2 = %.4f >= 1/4: %s\n", 1.0 - 0.5 - 0.25,
+              (1.0 - 0.5 - 0.25 >= 0.25 - 1e-12) ? "yes" : "NO");
+  std::printf("Overall adversary success bound (1/4)*prod >= %.4f (paper: >= 1/16)\n",
+              0.25 * finite_product(0.5, 1'000'000));
+  return 0;
+}

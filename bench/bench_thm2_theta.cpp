@@ -1,0 +1,65 @@
+// E4 — Theorem 2: two nodes joined by three paths defeat LR2 as well.
+//
+// Paper (Theorem 2 + Figure 3): with a ring H plus a third path P between
+// two of its nodes, a fair scheduler keeps the philosophers of H and P from
+// progressing with positive probability; the guest books stay empty so
+// Cond never fires ("fork.g remains forever empty").
+//
+// Instruments: the model checker on theta instances (the minimal one is
+// three parallel arcs) and the TrapFig1a adversary on fig1a (which
+// satisfies the Theorem 2 premise) run against LR2. Expected shape: LR2
+// fails exactly on the premise graphs, survives the Theorem-1-only graph
+// (ring+pendant), and GDP2 is certified everywhere small.
+#include "bench_util.hpp"
+
+#include "gdp/common/strings.hpp"
+#include "gdp/graph/algorithms.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/mdp/fair_progress.hpp"
+#include "gdp/sim/schedulers/trap_fig1a.hpp"
+#include "gdp/stats/ci.hpp"
+
+using namespace gdp;
+
+int main() {
+  bench::banner("E4: Theorem 2 (theta graphs vs LR2)",
+                "Theorem 2 and Figure 3",
+                "LR2 fails on (and only on) graphs with two nodes joined by >= 3 paths");
+
+  std::printf("(a) model-checked verdicts:\n");
+  stats::Table verdicts({"topology", "thm2 premise", "lr2 verdict", "gdp2 verdict"});
+  const graph::Topology cases[] = {graph::classic_ring(3), graph::ring_with_pendant(3),
+                                   graph::parallel_arcs(3), graph::parallel_arcs(4),
+                                   graph::theta(1, 1, 2)};
+  for (const auto& t : cases) {
+    const bool premise = graph::thm2_premise(t).has_value();
+    const auto lr2 = mdp::check_fair_progress(*algos::make_algorithm("lr2"), t, 3'000'000);
+    const auto gdp2 = mdp::check_fair_progress(*algos::make_algorithm("gdp2"), t, 3'000'000);
+    auto verdict_str = [](const mdp::FairProgressResult& r) {
+      if (r.verdict == mdp::Verdict::kUnknownTruncated) return std::string("unknown");
+      return std::string(r.holds() ? "progress" : "FAILS");
+    };
+    verdicts.add_row({t.name(), premise ? "yes" : "no", verdict_str(lr2), verdict_str(gdp2)});
+  }
+  verdicts.print();
+
+  std::printf("\n(b) the fig1a trap (nobody eats => Cond vacuous) against LR2:\n");
+  constexpr int kTrials = 300;
+  int trapped = 0;
+  const auto t = graph::fig1a();
+  for (int i = 0; i < kTrials; ++i) {
+    const auto lr2 = algos::make_algorithm("lr2");
+    sim::TrapFig1a trap;
+    rng::Rng rng(static_cast<std::uint64_t>(60'000 + i));
+    sim::EngineConfig cfg;
+    cfg.max_steps = 25'000;
+    const auto r = sim::run(*lr2, t, trap, rng, cfg);
+    trapped += trap.trapped() && r.total_meals == 0;
+  }
+  const auto ci =
+      stats::wilson(static_cast<std::uint64_t>(trapped), static_cast<std::uint64_t>(kTrials));
+  std::printf("  fig1a satisfies the premise (4 edge-disjoint paths between fork pairs)\n");
+  std::printf("  LR2 trapped: %d/%d (%.3f), Wilson 95%% [%.3f, %.3f] — paper bound: positive\n",
+              trapped, kTrials, static_cast<double>(trapped) / kTrials, ci.low, ci.high);
+  return 0;
+}

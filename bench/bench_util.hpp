@@ -1,0 +1,37 @@
+// Shared helpers for the experiment harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "gdp/algos/algorithm.hpp"
+#include "gdp/graph/topology.hpp"
+#include "gdp/rng/rng.hpp"
+#include "gdp/sim/engine.hpp"
+#include "gdp/sim/schedulers/basic.hpp"
+#include "gdp/stats/table.hpp"
+
+namespace gdp::bench {
+
+inline void banner(const std::string& experiment, const std::string& paper_artifact,
+                   const std::string& expectation) {
+  std::printf("=== %s ===\n", experiment.c_str());
+  std::printf("Paper artifact : %s\n", paper_artifact.c_str());
+  std::printf("Expected shape : %s\n\n", expectation.c_str());
+}
+
+/// One fair simulation run with default instrumentation.
+inline sim::RunResult fair_run(const std::string& algo_name, const graph::Topology& t,
+                               std::uint64_t seed, std::uint64_t steps,
+                               algos::AlgoConfig config = {}) {
+  const auto algo = algos::make_algorithm(algo_name, config);
+  sim::LongestWaiting sched;
+  rng::Rng rng(seed);
+  sim::EngineConfig cfg;
+  cfg.max_steps = steps;
+  return sim::run(*algo, t, sched, rng, cfg);
+}
+
+inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace gdp::bench

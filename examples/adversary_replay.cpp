@@ -1,0 +1,77 @@
+// Replays the paper's §3 counterexample against LR1 exactly — the six
+// states of the inline example — rendering each configuration like the
+// paper's diagrams (filled arrow = held fork, "committed" = empty arrow),
+// then lets the TrapFig1a adversary run the cycle thousands of rounds to
+// show nobody ever eats.
+#include <cstdio>
+
+#include "gdp/algos/algorithm.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/rng/scripted.hpp"
+#include "gdp/sim/engine.hpp"
+#include "gdp/sim/schedulers/trap_fig1a.hpp"
+#include "gdp/trace/ascii.hpp"
+#include "gdp/trace/replay.hpp"
+
+using namespace gdp;
+
+int main() {
+  const auto t = graph::fig1a();
+  const auto lr1 = algos::make_algorithm("lr1");
+
+  std::printf("The paper's Section 3 example: a fair adversary defeats LR1 on the\n"
+              "6-philosopher / 3-fork system (Figure 1, leftmost).\n\n");
+
+  // Scripted schedule + scripted draws reproduce States 1-6 exactly.
+  const std::vector<PhilId> order{0, 1, 2, 3, 4, 5, 2, 2, 0, 1, 3, 0, 4, 1, 2, 5, 1, 3, 0};
+  rng::ScriptedRng rng(1);
+  for (Side side : {Side::kRight, Side::kRight, Side::kRight, Side::kLeft, Side::kLeft,
+                    Side::kLeft}) {
+    rng.force_side(side);
+  }
+
+  struct Checkpoint {
+    std::size_t after_step;
+    const char* label;
+  };
+  const Checkpoint checkpoints[] = {
+      {10, "State 1: P2 holds f0; P0 -> f1, P1 -> f2 committed"},
+      {11, "State 2: P3 committed to the fork taken by P2"},
+      {13, "State 3: P0 took f1; P4 committed to it"},
+      {14, "State 4: P1 took f2"},
+      {16, "State 5: P2 released f0; P5 committed to f2"},
+      {19, "State 6: isomorphic to State 1 (roles on P3, P4, P5)"},
+  };
+
+  auto s = lr1->initial_state(t);
+  std::size_t at = 0;
+  for (const auto& cp : checkpoints) {
+    for (; at < cp.after_step; ++at) {
+      s = sim::sample_branch(lr1->step(t, s, order[at]), rng).next;
+    }
+    std::printf("--- %s\n%s\n", cp.label, trace::render_state(t, s).c_str());
+  }
+
+  std::printf("State 6 differs from State 1 only by philosopher names: the adversary\n"
+              "repeats the cycle forever and no philosopher in the system ever eats.\n\n");
+
+  // Now the full adversary with growing stubbornness budgets (fair).
+  std::printf("Running the TrapFig1a adversary for 100k steps...\n");
+  const auto fresh = algos::make_algorithm("lr1");
+  sim::TrapFig1a trap;
+  rng::Rng free_rng(2026);
+  sim::EngineConfig cfg;
+  cfg.max_steps = 100'000;
+  const auto r = sim::run(*fresh, t, trap, free_rng, cfg);
+  if (trap.trapped()) {
+    std::printf("  trapped: %llu rotation rounds, %llu meals (scheduling gap <= %llu => fair)\n",
+                static_cast<unsigned long long>(trap.rounds()),
+                static_cast<unsigned long long>(r.total_meals),
+                static_cast<unsigned long long>(r.max_sched_gap));
+  } else {
+    std::printf("  this seed's random draws escaped the setup (prob ~1/2); meals: %llu.\n"
+                "  The paper's bound only claims positive probability (>= 1/4) — rerun!\n",
+                static_cast<unsigned long long>(r.total_meals));
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// The paper's motivation: distributed guarded choice for the pi-calculus.
+//
+// Agents share channels (channels = forks, agents = philosophers); each
+// repeatedly commits a mixed guarded choice between its two channels using
+// GDP-style two-channel acquisition. A channel shared by many agents is
+// exactly the generalized dining-philosophers setting.
+//
+//   $ ./guarded_choice [ring|fig1a|star|parallel] [syncs]
+#include <cstdio>
+#include <string>
+
+#include "gdp/graph/builders.hpp"
+#include "gdp/pi/guarded_choice.hpp"
+
+using namespace gdp;
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "fig1a";
+  const std::uint64_t syncs = argc > 2 ? std::stoull(argv[2]) : 5'000;
+
+  graph::Topology t = which == "ring"       ? graph::classic_ring(6)
+                      : which == "star"     ? graph::star(8)
+                      : which == "parallel" ? graph::parallel_arcs(5)
+                                            : graph::fig1a();
+
+  std::printf("Guarded choice over channels: %s (%d agents, %d channels)\n", t.name().c_str(),
+              t.num_phils(), t.num_forks());
+
+  pi::ChoiceConfig cfg;
+  cfg.target_syncs = syncs;
+  const auto r = pi::run_guarded_choice(t, cfg);
+
+  std::printf("\n%llu rendezvous in %.3f s (%.0f/s), %llu pairing violations\n",
+              static_cast<unsigned long long>(r.total_syncs), r.elapsed_seconds,
+              r.syncs_per_second, static_cast<unsigned long long>(r.violations));
+  std::printf("\nPer agent participations:\n");
+  for (PhilId a = 0; a < t.num_phils(); ++a) {
+    std::printf("  agent %d (%s guards ch%d | ch%d): %llu\n", a, a % 2 == 0 ? "send" : "recv",
+                t.left_of(a), t.right_of(a),
+                static_cast<unsigned long long>(r.syncs_of[static_cast<std::size_t>(a)]));
+  }
+  std::printf("\nPer channel rendezvous:\n");
+  for (ForkId c = 0; c < t.num_forks(); ++c) {
+    std::printf("  ch%d: %llu\n", c,
+                static_cast<unsigned long long>(r.syncs_on[static_cast<std::size_t>(c)]));
+  }
+  std::printf("\nEvery agent synchronized: %s\n", r.everyone_synced() ? "yes" : "no");
+  return 0;
+}

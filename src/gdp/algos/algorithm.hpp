@@ -1,0 +1,97 @@
+// The Algorithm interface: a philosopher program as an atomic-step relation.
+//
+// Every algorithm of the paper (Tables 1-4) and every §1 baseline implements
+// step(): given the topology, the current configuration and a scheduled
+// philosopher, return the probability distribution over successors that one
+// atomic action of that philosopher induces. Enumerated branches make the
+// same code serve the sampling simulator, the exact replayer and the MDP
+// model checker.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gdp/common/ids.hpp"
+#include "gdp/graph/topology.hpp"
+#include "gdp/sim/state.hpp"
+#include "gdp/sim/step.hpp"
+
+namespace gdp::algos {
+
+/// How the non-terminating `think` action is modelled (see DESIGN.md §1
+/// substitutions).
+enum class ThinkMode : std::uint8_t {
+  /// think ends at the philosopher's next scheduled step: the "all
+  /// philosophers hungry" setting every proof quantifies over.
+  kHungry,
+  /// think ends with probability `think_coin` per scheduled step
+  /// (geometric thinking; for throughput-style experiments).
+  kCoin,
+};
+
+struct AlgoConfig {
+  ThinkMode think = ThinkMode::kHungry;
+  double think_coin = 0.5;
+
+  /// Bias of LR1/LR2's first-fork draw: P(left). The paper notes its
+  /// negative results hold for any positive bias (§3).
+  double p_left = 0.5;
+
+  /// GDP's numbering range [1, m]; the correctness proof needs m >= k
+  /// (number of forks). 0 = automatic (m = k).
+  int m = 0;
+};
+
+class Algorithm {
+ public:
+  explicit Algorithm(AlgoConfig config) : config_(config) {}
+  virtual ~Algorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// LR2/GDP2-style request lists + guest books in play?
+  virtual bool uses_books() const { return false; }
+  /// Symmetric = philosophers indistinguishable & identically programmed.
+  virtual bool symmetric() const { return true; }
+  /// Fully distributed = no processes/memory beyond philosophers & forks.
+  virtual bool fully_distributed() const { return true; }
+
+  /// Throws PreconditionError if this algorithm cannot run on `t`
+  /// (e.g. colored needs an even ring; books need degree <= 64).
+  virtual void validate(const graph::Topology& t) const;
+
+  /// The symmetric initial configuration: everyone thinking, all forks free
+  /// with nr = 0, empty books; baselines may add aux state via init_aux().
+  sim::SimState initial_state(const graph::Topology& t) const;
+
+  /// All probabilistic branches of one atomic step of philosopher `p`.
+  /// Branch probabilities are positive and sum to 1. Never empty.
+  virtual std::vector<sim::Branch> step(const graph::Topology& t, const sim::SimState& state,
+                                        PhilId p) const = 0;
+
+  const AlgoConfig& config() const { return config_; }
+
+  /// Effective GDP numbering range for topology t (config.m, or k if auto).
+  int effective_m(const graph::Topology& t) const;
+
+ protected:
+  /// Hook for baselines to set up aux words (arbiter queue, ticket box).
+  virtual void init_aux(sim::SimState&, const graph::Topology&) const {}
+
+  /// Handles Phase::kThinking according to the think mode; on waking, the
+  /// philosopher moves to `first_phase` (kChoose, kRegister, ...).
+  std::vector<sim::Branch> think_step(const sim::SimState& state, PhilId p,
+                                      sim::Phase first_phase) const;
+
+  AlgoConfig config_;
+};
+
+/// Factory by name: "lr1", "lr2", "gdp1", "gdp2", "ordered", "colored",
+/// "arbiter", "ticket". Throws PreconditionError for unknown names.
+std::unique_ptr<Algorithm> make_algorithm(const std::string& name, AlgoConfig config = {});
+
+/// All factory names, in presentation order.
+std::vector<std::string> algorithm_names();
+
+}  // namespace gdp::algos

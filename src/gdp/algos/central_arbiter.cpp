@@ -1,0 +1,110 @@
+#include "gdp/algos/central_arbiter.hpp"
+
+#include <algorithm>
+
+#include "gdp/common/check.hpp"
+
+namespace gdp::algos {
+
+using sim::Branch;
+using sim::EventKind;
+using sim::Phase;
+using sim::SimState;
+using sim::StepEvent;
+
+void CentralArbiter::init_aux(SimState& state, const graph::Topology& t) const {
+  state.aux.assign(static_cast<std::size_t>(t.num_phils()), -1);
+}
+
+namespace {
+
+void enqueue(SimState& state, PhilId p) {
+  for (auto& slot : state.aux) {
+    if (slot == -1) {
+      slot = p;
+      return;
+    }
+  }
+  GDP_CHECK_MSG(false, "arbiter queue overflow — philosopher enqueued twice?");
+}
+
+void dequeue(SimState& state, PhilId p) {
+  auto& queue = state.aux;
+  const auto it = std::find(queue.begin(), queue.end(), p);
+  GDP_DCHECK(it != queue.end());
+  queue.erase(it);
+  queue.push_back(-1);  // keep the vector size (and the encoding) stable
+}
+
+/// Grant rule: both forks free and no earlier waiter shares a fork with p.
+bool may_grant(const SimState& state, const graph::Topology& t, PhilId p) {
+  const ForkId left = t.left_of(p);
+  const ForkId right = t.right_of(p);
+  if (!state.fork(left).free() || !state.fork(right).free()) return false;
+  for (std::int32_t earlier : state.aux) {
+    if (earlier == -1 || earlier == p) break;  // reached p (or open slots)
+    const auto& arc = t.arc(earlier);
+    if (arc.left == left || arc.left == right || arc.right == left || arc.right == right) {
+      return false;  // reserved by an earlier conflicting waiter
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Branch> CentralArbiter::step(const graph::Topology& t, const SimState& state,
+                                         PhilId p) const {
+  const sim::PhilState& me = state.phil(p);
+  std::vector<Branch> branches;
+
+  switch (me.phase) {
+    case Phase::kThinking:
+      return think_step(state, p, Phase::kRegister);
+
+    case Phase::kRegister: {
+      // Ask the monitor for both forks.
+      SimState next = state;
+      enqueue(next, p);
+      next.phil(p).phase = Phase::kWaitGrant;
+      branches.push_back(deterministic(std::move(next), StepEvent{EventKind::kRegistered}));
+      return branches;
+    }
+
+    case Phase::kWaitGrant: {
+      if (may_grant(state, t, p)) {
+        SimState next = state;
+        const bool left_ok = sim::try_take(next, t.left_of(p), p);
+        const bool right_ok = sim::try_take(next, t.right_of(p), p);
+        GDP_DCHECK(left_ok && right_ok);
+        (void)left_ok;
+        (void)right_ok;
+        dequeue(next, p);
+        next.phil(p).phase = Phase::kEating;
+        branches.push_back(deterministic(std::move(next), StepEvent{EventKind::kGranted}));
+      } else {
+        branches.push_back(deterministic(state, StepEvent{EventKind::kWaiting}));
+      }
+      return branches;
+    }
+
+    case Phase::kEating: {
+      SimState next = state;
+      sim::release(next, t.left_of(p), p);
+      sim::release(next, t.right_of(p), p);
+      next.phil(p).phase = Phase::kThinking;
+      branches.push_back(deterministic(std::move(next), StepEvent{EventKind::kFinishedEating}));
+      return branches;
+    }
+
+    case Phase::kChoose:
+    case Phase::kCommit:
+    case Phase::kRenumber:
+    case Phase::kTrySecond:
+      break;
+  }
+  GDP_CHECK_MSG(false, "arbiter: philosopher " << p << " in foreign phase");
+  __builtin_unreachable();
+}
+
+}  // namespace gdp::algos

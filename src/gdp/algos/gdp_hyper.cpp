@@ -1,0 +1,137 @@
+#include "gdp/algos/gdp_hyper.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "gdp/common/check.hpp"
+
+namespace gdp::algos {
+namespace {
+
+enum class HPhase : std::uint8_t { kChoose, kAcquire, kEating };
+
+struct HPhil {
+  HPhase phase = HPhase::kChoose;
+  std::vector<ForkId> plan;  // acquisition order for this attempt
+  int next = 0;              // index into plan: forks [0, next) are held
+};
+
+struct HFork {
+  PhilId holder = kNoPhil;
+  std::uint16_t nr = 0;
+};
+
+}  // namespace
+
+bool HyperResult::everyone_ate() const {
+  return std::all_of(meals_of.begin(), meals_of.end(), [](std::uint64_t m) { return m > 0; });
+}
+
+HyperResult run_gdp_hyper(const graph::HyperTopology& t, rng::Rng& rng,
+                          const HyperConfig& config) {
+  const int n = t.num_phils();
+  const int k = t.num_forks();
+  const int m = config.m != 0 ? config.m : k;
+  GDP_CHECK_MSG(m >= k, "GDP-H requires m >= k (got m=" << m << ", k=" << k << ")");
+
+  std::vector<HPhil> phils(static_cast<std::size_t>(n));
+  std::vector<HFork> forks(static_cast<std::size_t>(k));
+
+  HyperResult result;
+  result.meals_of.assign(static_cast<std::size_t>(n), 0);
+  result.first_meal_step = std::numeric_limits<std::uint64_t>::max();
+
+  auto release_all = [&](PhilId p) {
+    HPhil& me = phils[static_cast<std::size_t>(p)];
+    for (int i = 0; i < me.next; ++i) {
+      HFork& fork = forks[static_cast<std::size_t>(me.plan[static_cast<std::size_t>(i)])];
+      GDP_DCHECK(fork.holder == p);
+      fork.holder = kNoPhil;
+    }
+    me.next = 0;
+  };
+
+  std::uint64_t stuck_streak = 0;
+  for (std::uint64_t step = 0; step < config.max_steps; ++step) {
+    const PhilId p = config.random_scheduler ? rng.uniform_int(0, n - 1)
+                                             : static_cast<PhilId>(step % n);
+    HPhil& me = phils[static_cast<std::size_t>(p)];
+    bool changed = true;
+
+    switch (me.phase) {
+      case HPhase::kChoose: {
+        // Step 2: sort own forks by (nr desc, id asc).
+        me.plan = t.forks_of(p);
+        std::sort(me.plan.begin(), me.plan.end(), [&](ForkId x, ForkId y) {
+          const auto nx = forks[static_cast<std::size_t>(x)].nr;
+          const auto ny = forks[static_cast<std::size_t>(y)].nr;
+          return nx != ny ? nx > ny : x < y;
+        });
+        me.next = 0;
+        me.phase = HPhase::kAcquire;
+        break;
+      }
+
+      case HPhase::kAcquire: {
+        const ForkId f = me.plan[static_cast<std::size_t>(me.next)];
+        HFork& fork = forks[static_cast<std::size_t>(f)];
+        if (fork.holder != kNoPhil) {
+          if (me.next == 0) {
+            changed = false;  // GDP1 step 3: busy-wait on the first fork
+          } else {
+            release_all(p);  // GDP1 step 5: release everything, re-choose
+            me.phase = HPhase::kChoose;
+          }
+          break;
+        }
+        fork.holder = p;
+        ++me.next;
+        // Generalized step 4: re-randomize the just-taken fork if its nr
+        // collides with any still-untaken fork of the plan.
+        const bool collision =
+            std::any_of(me.plan.begin() + me.next, me.plan.end(), [&](ForkId g) {
+              return forks[static_cast<std::size_t>(g)].nr == fork.nr;
+            });
+        if (collision) fork.nr = static_cast<std::uint16_t>(rng.uniform_int(1, m));
+        if (me.next == static_cast<int>(me.plan.size())) {
+          me.phase = HPhase::kEating;
+          ++result.total_meals;
+          ++result.meals_of[static_cast<std::size_t>(p)];
+          if (result.first_meal_step == std::numeric_limits<std::uint64_t>::max()) {
+            result.first_meal_step = step;
+          }
+        }
+        break;
+      }
+
+      case HPhase::kEating: {
+        release_all(p);
+        me.phase = HPhase::kChoose;
+        break;
+      }
+    }
+
+    result.steps = step + 1;
+    stuck_streak = changed ? 0 : stuck_streak + 1;
+    if (stuck_streak >= static_cast<std::uint64_t>(4 * n)) {
+      // Everyone spinning on a held first fork with no holder progressing
+      // would be a deadlock; GDP-H's release-on-conflict makes it impossible,
+      // but the detector stays as a safety net for the tests.
+      bool all_stuck = true;
+      for (PhilId q = 0; q < n && all_stuck; ++q) {
+        const HPhil& other = phils[static_cast<std::size_t>(q)];
+        all_stuck = other.phase == HPhase::kAcquire && other.next == 0 &&
+                    forks[static_cast<std::size_t>(other.plan[0])].holder != kNoPhil;
+      }
+      if (all_stuck) {
+        result.deadlocked = true;
+        break;
+      }
+      stuck_streak = 0;
+    }
+    if (config.stop_after_meals != 0 && result.total_meals >= config.stop_after_meals) break;
+  }
+  return result;
+}
+
+}  // namespace gdp::algos

@@ -1,0 +1,82 @@
+#include "gdp/algos/ordered_forks.hpp"
+
+#include "gdp/common/check.hpp"
+
+namespace gdp::algos {
+
+using sim::Branch;
+using sim::EventKind;
+using sim::Phase;
+using sim::SimState;
+using sim::StepEvent;
+
+std::vector<Branch> OrderedForks::step(const graph::Topology& t, const SimState& state,
+                                       PhilId p) const {
+  const sim::PhilState& me = state.phil(p);
+  std::vector<Branch> branches;
+
+  switch (me.phase) {
+    case Phase::kThinking:
+      return think_step(state, p, Phase::kChoose);
+
+    case Phase::kChoose: {
+      // First fork = the higher id (the paper's wording).
+      const Side side =
+          t.left_of(p) > t.right_of(p) ? Side::kLeft : Side::kRight;
+      SimState next = state;
+      next.phil(p).phase = Phase::kCommit;
+      next.phil(p).committed = side;
+      branches.push_back(deterministic(
+          std::move(next), StepEvent{EventKind::kChose, side, t.fork_of(p, side), 0}));
+      return branches;
+    }
+
+    case Phase::kCommit: {
+      const ForkId f = t.fork_of(p, me.committed);
+      SimState next = state;
+      if (sim::try_take(next, f, p)) {
+        next.phil(p).phase = Phase::kTrySecond;
+        branches.push_back(
+            deterministic(std::move(next), StepEvent{EventKind::kTookFirst, me.committed, f, 0}));
+      } else {
+        branches.push_back(
+            deterministic(state, StepEvent{EventKind::kBlockedFirst, me.committed, f, 0}));
+      }
+      return branches;
+    }
+
+    case Phase::kTrySecond: {
+      // Hold-and-wait: keep the first fork and spin until the second frees.
+      const ForkId f = t.fork_of(p, me.committed);
+      const ForkId g = t.other_fork(p, f);
+      SimState next = state;
+      if (sim::try_take(next, g, p)) {
+        next.phil(p).phase = Phase::kEating;
+        branches.push_back(
+            deterministic(std::move(next), StepEvent{EventKind::kTookSecond, me.committed, g, 0}));
+      } else {
+        branches.push_back(
+            deterministic(state, StepEvent{EventKind::kBlockedSecond, me.committed, g, 0}));
+      }
+      return branches;
+    }
+
+    case Phase::kEating: {
+      SimState next = state;
+      sim::release(next, t.left_of(p), p);
+      sim::release(next, t.right_of(p), p);
+      next.phil(p).phase = Phase::kThinking;
+      branches.push_back(deterministic(std::move(next), StepEvent{EventKind::kFinishedEating}));
+      return branches;
+    }
+
+    case Phase::kRegister:
+    case Phase::kRenumber:
+    case Phase::kWaitGrant:
+      break;
+  }
+  GDP_CHECK_MSG(false, "ordered: philosopher " << p << " in foreign phase");
+  __builtin_unreachable();
+}
+
+}  // namespace gdp::algos

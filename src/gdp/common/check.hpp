@@ -1,0 +1,70 @@
+// Lightweight runtime checking for library-boundary validation.
+//
+// GDP_CHECK is used at public API boundaries (topology construction, engine
+// configuration) where a violated precondition is a caller bug that should be
+// reported with context rather than silently corrupting a simulation.
+// GDP_DCHECK compiles away in release hot paths (per-step invariants).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gdp {
+
+/// Thrown when a documented precondition of the public API is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream out;
+  out << "GDP_CHECK failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) out << " — " << msg;
+  throw PreconditionError(out.str());
+}
+
+// Message builder that only materializes the stream when a check fails.
+class CheckMessage {
+ public:
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace gdp
+
+#define GDP_CHECK(cond)                                                       \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::gdp::detail::check_failed(#cond, __FILE__, __LINE__, std::string{});  \
+    }                                                                         \
+  } while (false)
+
+#define GDP_CHECK_MSG(cond, msg_expr)                                         \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::gdp::detail::check_failed(                                            \
+          #cond, __FILE__, __LINE__,                                          \
+          (::gdp::detail::CheckMessage{} << msg_expr).str());                 \
+    }                                                                         \
+  } while (false)
+
+#ifdef NDEBUG
+#define GDP_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define GDP_DCHECK(cond) GDP_CHECK(cond)
+#endif

@@ -1,0 +1,39 @@
+// Strong-ish id aliases shared by every module.
+//
+// The paper's system is a multigraph whose *nodes are forks* and whose *arcs
+// are philosophers*; ids index into dense vectors everywhere, so they are
+// plain 32-bit integers with named sentinels rather than wrapper classes.
+#pragma once
+
+#include <cstdint>
+
+namespace gdp {
+
+/// Index of a philosopher (an arc of the topology multigraph).
+using PhilId = std::int32_t;
+
+/// Index of a fork (a node of the topology multigraph).
+using ForkId = std::int32_t;
+
+/// "No philosopher": a free fork's holder, or a scheduler returning nothing.
+inline constexpr PhilId kNoPhil = -1;
+
+/// "No fork": an unset commitment.
+inline constexpr ForkId kNoFork = -1;
+
+/// Which of a philosopher's two forks is meant. The paper's philosophers call
+/// their forks `left` and `right`; the designation is fixed per philosopher at
+/// topology construction and carries no geometric meaning.
+enum class Side : std::uint8_t { kLeft = 0, kRight = 1 };
+
+/// The other side. `other(left) == right` and vice versa.
+constexpr Side other(Side s) {
+  return s == Side::kLeft ? Side::kRight : Side::kLeft;
+}
+
+/// Short printable name, for traces.
+constexpr const char* to_string(Side s) {
+  return s == Side::kLeft ? "left" : "right";
+}
+
+}  // namespace gdp

@@ -1,0 +1,17 @@
+// Library version, exposed for tooling and the examples' banners.
+#pragma once
+
+namespace gdp {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+inline constexpr const char* kVersionString = "1.0.0";
+
+/// The paper this library reproduces.
+inline constexpr const char* kPaperCitation =
+    "O. M. Herescu and C. Palamidessi, \"On the generalized dining "
+    "philosophers problem\", PODC 2001 (arXiv:cs/0109003)";
+
+}  // namespace gdp

@@ -1,0 +1,187 @@
+#include "gdp/graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "gdp/common/check.hpp"
+
+namespace gdp::graph {
+namespace {
+
+// Returns a BFS parent-arc tree from `source`, skipping arc `banned`.
+// parent_arc[f] is the philosopher arc used to reach f (kNoPhil for source /
+// unreached); parent_fork[f] the fork it was reached from.
+struct BfsTree {
+  std::vector<PhilId> parent_arc;
+  std::vector<ForkId> parent_fork;
+  std::vector<bool> reached;
+};
+
+BfsTree bfs_from(const Topology& t, ForkId source, PhilId banned) {
+  BfsTree tree{std::vector<PhilId>(static_cast<std::size_t>(t.num_forks()), kNoPhil),
+               std::vector<ForkId>(static_cast<std::size_t>(t.num_forks()), kNoFork),
+               std::vector<bool>(static_cast<std::size_t>(t.num_forks()), false)};
+  std::queue<ForkId> frontier;
+  frontier.push(source);
+  tree.reached[static_cast<std::size_t>(source)] = true;
+  while (!frontier.empty()) {
+    const ForkId u = frontier.front();
+    frontier.pop();
+    for (PhilId p : t.incident(u)) {
+      if (p == banned) continue;
+      const ForkId v = t.other_fork(p, u);
+      if (tree.reached[static_cast<std::size_t>(v)]) continue;
+      tree.reached[static_cast<std::size_t>(v)] = true;
+      tree.parent_arc[static_cast<std::size_t>(v)] = p;
+      tree.parent_fork[static_cast<std::size_t>(v)] = u;
+      frontier.push(v);
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+std::vector<int> connected_components(const Topology& t) {
+  std::vector<int> component(static_cast<std::size_t>(t.num_forks()), -1);
+  int next = 0;
+  for (ForkId start = 0; start < t.num_forks(); ++start) {
+    if (component[static_cast<std::size_t>(start)] != -1) continue;
+    const int id = next++;
+    std::queue<ForkId> frontier;
+    frontier.push(start);
+    component[static_cast<std::size_t>(start)] = id;
+    while (!frontier.empty()) {
+      const ForkId u = frontier.front();
+      frontier.pop();
+      for (PhilId p : t.incident(u)) {
+        const ForkId v = t.other_fork(p, u);
+        if (component[static_cast<std::size_t>(v)] == -1) {
+          component[static_cast<std::size_t>(v)] = id;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+bool is_connected(const Topology& t) {
+  const auto component = connected_components(t);
+  return std::all_of(component.begin(), component.end(), [](int c) { return c == 0; });
+}
+
+int cyclomatic_number(const Topology& t) {
+  const auto component = connected_components(t);
+  const int num_components =
+      component.empty() ? 0 : 1 + *std::max_element(component.begin(), component.end());
+  return t.num_phils() - t.num_forks() + num_components;
+}
+
+std::optional<Cycle> find_cycle_through(const Topology& t, ForkId f) {
+  // f lies on a cycle iff some incident arc (f, x) can be removed while x
+  // still reaches f. The BFS tree then yields the rest of the cycle.
+  for (PhilId p : t.incident(f)) {
+    const ForkId x = t.other_fork(p, f);
+    const BfsTree tree = bfs_from(t, f, p);
+    if (!tree.reached[static_cast<std::size_t>(x)]) continue;
+    Cycle cycle;
+    // Walk x -> f along parents, building the path f ... x, then close with p.
+    std::vector<ForkId> forks_rev;
+    std::vector<PhilId> phils_rev;
+    ForkId at = x;
+    while (at != f) {
+      forks_rev.push_back(at);
+      phils_rev.push_back(tree.parent_arc[static_cast<std::size_t>(at)]);
+      at = tree.parent_fork[static_cast<std::size_t>(at)];
+    }
+    cycle.forks.push_back(f);
+    for (auto it = forks_rev.rbegin(); it != forks_rev.rend(); ++it) cycle.forks.push_back(*it);
+    for (auto it = phils_rev.rbegin(); it != phils_rev.rend(); ++it) cycle.phils.push_back(*it);
+    cycle.phils.push_back(p);  // closes x -- f
+    return cycle;
+  }
+  return std::nullopt;
+}
+
+std::optional<Cycle> find_cycle(const Topology& t) {
+  for (ForkId f = 0; f < t.num_forks(); ++f) {
+    if (auto cycle = find_cycle_through(t, f)) return cycle;
+  }
+  return std::nullopt;
+}
+
+int edge_disjoint_paths(const Topology& t, ForkId u, ForkId v) {
+  GDP_CHECK_MSG(u != v, "edge_disjoint_paths needs distinct forks");
+  // Unit-capacity undirected max flow by BFS augmentation. `used[p]` is the
+  // direction philosopher-arc p currently carries flow in (0 none, +1
+  // left->right, -1 right->left); residual traversal may reverse it.
+  std::vector<int> used(static_cast<std::size_t>(t.num_phils()), 0);
+  int flow = 0;
+  while (true) {
+    std::vector<PhilId> via(static_cast<std::size_t>(t.num_forks()), kNoPhil);
+    std::vector<ForkId> from(static_cast<std::size_t>(t.num_forks()), kNoFork);
+    std::vector<bool> seen(static_cast<std::size_t>(t.num_forks()), false);
+    std::queue<ForkId> frontier;
+    frontier.push(u);
+    seen[static_cast<std::size_t>(u)] = true;
+    while (!frontier.empty() && !seen[static_cast<std::size_t>(v)]) {
+      const ForkId a = frontier.front();
+      frontier.pop();
+      for (PhilId p : t.incident(a)) {
+        const ForkId b = t.other_fork(p, a);
+        // Traversing a->b is allowed if the arc is unused, or currently used
+        // in the b->a direction (cancellation).
+        const int dir = (t.left_of(p) == a) ? +1 : -1;
+        const int u_p = used[static_cast<std::size_t>(p)];
+        if (u_p != 0 && u_p != -dir) continue;
+        if (seen[static_cast<std::size_t>(b)]) continue;
+        seen[static_cast<std::size_t>(b)] = true;
+        via[static_cast<std::size_t>(b)] = p;
+        from[static_cast<std::size_t>(b)] = a;
+        frontier.push(b);
+      }
+    }
+    if (!seen[static_cast<std::size_t>(v)]) break;
+    // Augment along the path.
+    ForkId at = v;
+    while (at != u) {
+      const PhilId p = via[static_cast<std::size_t>(at)];
+      const ForkId prev = from[static_cast<std::size_t>(at)];
+      const int dir = (t.left_of(p) == prev) ? +1 : -1;
+      auto& u_p = used[static_cast<std::size_t>(p)];
+      u_p = (u_p == -dir) ? 0 : dir;  // cancel or claim
+      at = prev;
+    }
+    ++flow;
+  }
+  return flow;
+}
+
+std::optional<Cycle> thm1_premise(const Topology& t) {
+  for (ForkId f = 0; f < t.num_forks(); ++f) {
+    if (t.degree(f) < 3) continue;
+    if (auto cycle = find_cycle_through(t, f)) return cycle;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<ForkId, ForkId>> thm2_premise(const Topology& t) {
+  // Only fork pairs of degree >= 3 can carry three edge-disjoint paths.
+  for (ForkId u = 0; u < t.num_forks(); ++u) {
+    if (t.degree(u) < 3) continue;
+    for (ForkId v = u + 1; v < t.num_forks(); ++v) {
+      if (t.degree(v) < 3) continue;
+      if (edge_disjoint_paths(t, u, v) >= 3) return std::make_pair(u, v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<int> degree_histogram(const Topology& t) {
+  std::vector<int> histogram(static_cast<std::size_t>(t.max_degree()) + 1, 0);
+  for (ForkId f = 0; f < t.num_forks(); ++f) ++histogram[static_cast<std::size_t>(t.degree(f))];
+  return histogram;
+}
+
+}  // namespace gdp::graph

@@ -1,0 +1,61 @@
+// Structural queries on topologies, including executable versions of the
+// premises of the paper's two negative theorems:
+//
+//   Theorem 1 (defeats LR1): the graph contains a ring subgraph H with a node
+//     of H having at least three incident arcs.
+//   Theorem 2 (defeats LR2): the graph contains two nodes connected by at
+//     least three (edge-disjoint) paths.
+//
+// The benches use these to assert that a topology family really satisfies
+// the premise being exercised.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gdp/common/ids.hpp"
+#include "gdp/graph/topology.hpp"
+
+namespace gdp::graph {
+
+/// A simple cycle: forks[i] --phils[i]-- forks[(i+1) % size]. Parallel arcs
+/// make 2-cycles (two philosophers sharing both forks).
+struct Cycle {
+  std::vector<ForkId> forks;
+  std::vector<PhilId> phils;
+
+  int length() const { return static_cast<int>(phils.size()); }
+};
+
+/// Component id (0-based, dense) for every fork.
+std::vector<int> connected_components(const Topology& t);
+
+/// True if the fork graph is connected.
+bool is_connected(const Topology& t);
+
+/// First-Betti / cyclomatic number: |arcs| - |forks| + |components|.
+/// Zero iff the system is a forest (acyclic).
+int cyclomatic_number(const Topology& t);
+
+/// Any simple cycle, or nullopt if the system is a forest.
+std::optional<Cycle> find_cycle(const Topology& t);
+
+/// Some cycle passing through fork `f`, or nullopt.
+std::optional<Cycle> find_cycle_through(const Topology& t, ForkId f);
+
+/// Maximum number of edge-disjoint paths between forks u and v
+/// (unit-capacity max flow; arcs are undirected).
+int edge_disjoint_paths(const Topology& t, ForkId u, ForkId v);
+
+/// Theorem 1 premise. On success returns a witness cycle through a fork of
+/// degree >= 3.
+std::optional<Cycle> thm1_premise(const Topology& t);
+
+/// Theorem 2 premise. On success returns the witness hub pair {u, v} with
+/// edge_disjoint_paths(u, v) >= 3.
+std::optional<std::pair<ForkId, ForkId>> thm2_premise(const Topology& t);
+
+/// histogram[d] = number of forks with degree d.
+std::vector<int> degree_histogram(const Topology& t);
+
+}  // namespace gdp::graph

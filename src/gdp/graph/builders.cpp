@@ -1,0 +1,170 @@
+#include "gdp/graph/builders.hpp"
+
+#include <string>
+
+#include "gdp/common/check.hpp"
+#include "gdp/graph/algorithms.hpp"
+#include "gdp/rng/rng.hpp"
+
+namespace gdp::graph {
+
+Topology classic_ring(int n) {
+  GDP_CHECK_MSG(n >= 2, "classic_ring needs n >= 2, got " << n);
+  Topology::Builder b("ring(" + std::to_string(n) + ")");
+  b.add_forks(n);
+  for (int i = 0; i < n; ++i) b.add_phil(i, (i + 1) % n);
+  return std::move(b).build();
+}
+
+Topology parallel_arcs(int n) {
+  GDP_CHECK_MSG(n >= 2, "parallel_arcs needs n >= 2, got " << n);
+  Topology::Builder b("parallel(" + std::to_string(n) + ")");
+  b.add_forks(2);
+  for (int i = 0; i < n; ++i) b.add_phil(0, 1);
+  return std::move(b).build();
+}
+
+Topology fig1a() {
+  // Triangle of forks {0,1,2}; each side doubled: 6 philosophers.
+  Topology::Builder b("fig1a(6ph,3f)");
+  b.add_forks(3);
+  // P1..P6 of the paper map to ids 0..5, placed so consecutive philosophers
+  // share a fork going around the triangle twice.
+  b.add_phil(0, 1);  // P1
+  b.add_phil(1, 2);  // P2
+  b.add_phil(2, 0);  // P3
+  b.add_phil(0, 1);  // P4
+  b.add_phil(1, 2);  // P5
+  b.add_phil(2, 0);  // P6
+  return std::move(b).build();
+}
+
+Topology fig1b() {
+  Topology::Builder b("fig1b(12ph,6f)");
+  b.add_forks(6);
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 6; ++i) b.add_phil(i, (i + 1) % 6);
+  }
+  return std::move(b).build();
+}
+
+Topology fig1c() {
+  // 12-ring plus 4 chords: 16 philosophers, 12 forks; nodes 0,3,6,9 have
+  // degree 3 (reconstruction; see header comment).
+  Topology::Builder b("fig1c(16ph,12f)");
+  b.add_forks(12);
+  for (int i = 0; i < 12; ++i) b.add_phil(i, (i + 1) % 12);
+  b.add_phil(0, 6);
+  b.add_phil(3, 9);
+  b.add_phil(0, 3);
+  b.add_phil(6, 9);
+  return std::move(b).build();
+}
+
+Topology fig1d() {
+  // 8-ring plus a center fork (id 8) tied to ring nodes 0 and 4:
+  // 10 philosophers, 9 forks (reconstruction; see header comment).
+  Topology::Builder b("fig1d(10ph,9f)");
+  b.add_forks(9);
+  for (int i = 0; i < 8; ++i) b.add_phil(i, (i + 1) % 8);
+  b.add_phil(0, 8);
+  b.add_phil(4, 8);
+  return std::move(b).build();
+}
+
+Topology ring_with_chord(int k) {
+  GDP_CHECK_MSG(k >= 3, "ring_with_chord needs k >= 3, got " << k);
+  Topology::Builder b("ring_chord(" + std::to_string(k) + ")");
+  b.add_forks(k);
+  for (int i = 0; i < k; ++i) b.add_phil(i, (i + 1) % k);
+  b.add_phil(0, k / 2);
+  return std::move(b).build();
+}
+
+Topology ring_with_pendant(int k) {
+  GDP_CHECK_MSG(k >= 3, "ring_with_pendant needs k >= 3, got " << k);
+  Topology::Builder b("ring_pendant(" + std::to_string(k) + ")");
+  const ForkId g = k;  // the outside fork
+  b.add_forks(k + 1);
+  for (int i = 0; i < k; ++i) b.add_phil(i, (i + 1) % k);
+  b.add_phil(0, g);
+  return std::move(b).build();
+}
+
+Topology theta(int a, int b, int c) {
+  GDP_CHECK_MSG(a >= 1 && b >= 1 && c >= 1,
+                "theta path lengths must be >= 1, got " << a << "," << b << "," << c);
+  Topology::Builder bld("theta(" + std::to_string(a) + "," + std::to_string(b) + "," +
+                        std::to_string(c) + ")");
+  const ForkId u = bld.add_forks(2);  // hubs u=0, v=1
+  const ForkId v = u + 1;
+  auto add_path = [&](int len) {
+    // len philosophers, len-1 interior forks between u and v.
+    ForkId prev = u;
+    for (int i = 0; i < len - 1; ++i) {
+      const ForkId mid = bld.add_forks(1);
+      bld.add_phil(prev, mid);
+      prev = mid;
+    }
+    bld.add_phil(prev, v);
+  };
+  add_path(a);
+  add_path(b);
+  add_path(c);
+  return std::move(bld).build();
+}
+
+Topology star(int leaves) {
+  GDP_CHECK_MSG(leaves >= 2, "star needs >= 2 leaves, got " << leaves);
+  Topology::Builder b("star(" + std::to_string(leaves) + ")");
+  const ForkId center = b.add_forks(1 + leaves);
+  for (int i = 1; i <= leaves; ++i) b.add_phil(center, center + i);
+  return std::move(b).build();
+}
+
+Topology grid(int rows, int cols) {
+  GDP_CHECK_MSG(rows >= 1 && cols >= 1 && rows * cols >= 2,
+                "grid needs at least two forks, got " << rows << "x" << cols);
+  Topology::Builder b("grid(" + std::to_string(rows) + "x" + std::to_string(cols) + ")");
+  b.add_forks(rows * cols);
+  auto at = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_phil(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) b.add_phil(at(r, c), at(r + 1, c));
+    }
+  }
+  return std::move(b).build();
+}
+
+Topology complete(int k) {
+  GDP_CHECK_MSG(k >= 2, "complete needs k >= 2 forks, got " << k);
+  Topology::Builder b("complete(" + std::to_string(k) + ")");
+  b.add_forks(k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) b.add_phil(i, j);
+  }
+  return std::move(b).build();
+}
+
+Topology random_multigraph(int k, int n, rng::Rng& rng) {
+  GDP_CHECK_MSG(k >= 2, "random_multigraph needs k >= 2 forks, got " << k);
+  GDP_CHECK_MSG(n >= k - 1, "random_multigraph needs n >= k-1 arcs for connectivity, got " << n);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    Topology::Builder b("random(k=" + std::to_string(k) + ",n=" + std::to_string(n) + ")");
+    b.add_forks(k);
+    for (int i = 0; i < n; ++i) {
+      const ForkId u = rng.uniform_int(0, k - 1);
+      ForkId v = rng.uniform_int(0, k - 2);
+      if (v >= u) ++v;  // distinct endpoints, uniform over the k-1 others
+      b.add_phil(u, v);
+    }
+    Topology t = std::move(b).build();
+    if (is_connected(t)) return t;
+  }
+  GDP_CHECK_MSG(false, "random_multigraph: failed to sample a connected system "
+                           << "(k=" << k << ", n=" << n << ")");
+  __builtin_unreachable();
+}
+
+}  // namespace gdp::graph

@@ -1,0 +1,54 @@
+#include "gdp/graph/dot.hpp"
+
+#include <sstream>
+
+#include "gdp/common/strings.hpp"
+#include "gdp/sim/state.hpp"
+
+namespace gdp::graph {
+
+std::string to_dot(const Topology& t) {
+  std::ostringstream out;
+  out << "graph \"" << t.name() << "\" {\n";
+  out << "  node [shape=point, width=0.15];\n";
+  for (ForkId f = 0; f < t.num_forks(); ++f) {
+    out << "  f" << f << " [xlabel=\"" << fork_name(f) << "\"];\n";
+  }
+  for (PhilId p = 0; p < t.num_phils(); ++p) {
+    out << "  f" << t.left_of(p) << " -- f" << t.right_of(p) << " [label=\"" << phil_name(p)
+        << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const Topology& t, const sim::SimState& state) {
+  std::ostringstream out;
+  out << "graph \"" << t.name() << "\" {\n";
+  out << "  node [shape=circle, width=0.3, fontsize=10];\n";
+  for (ForkId f = 0; f < t.num_forks(); ++f) {
+    const auto& fork = state.fork(f);
+    out << "  f" << f << " [label=\"" << fork_name(f);
+    if (fork.nr != 0) out << "\\nnr=" << fork.nr;
+    out << "\"";
+    if (!fork.free()) out << ", style=filled, fillcolor=lightgray";
+    out << "];\n";
+  }
+  for (PhilId p = 0; p < t.num_phils(); ++p) {
+    const auto& phil = state.phil(p);
+    const char* color = "black";
+    switch (phil.phase) {
+      case sim::Phase::kEating: color = "forestgreen"; break;
+      case sim::Phase::kTrySecond:
+      case sim::Phase::kRenumber: color = "orange"; break;
+      case sim::Phase::kCommit: color = "blue"; break;
+      default: break;
+    }
+    out << "  f" << t.left_of(p) << " -- f" << t.right_of(p) << " [label=\"" << phil_name(p)
+        << "\\n" << sim::to_string(phil.phase) << "\", color=" << color << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace gdp::graph

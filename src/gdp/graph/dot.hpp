@@ -1,0 +1,21 @@
+// Graphviz export, for inspecting topologies and annotated simulation states.
+#pragma once
+
+#include <string>
+
+#include "gdp/graph/topology.hpp"
+
+namespace gdp::sim {
+struct SimState;
+}
+
+namespace gdp::graph {
+
+/// Plain topology: forks as nodes, philosophers as labelled arcs.
+std::string to_dot(const Topology& t);
+
+/// Topology annotated with a simulation state: fork labels carry the `nr`
+/// value, arcs are colored by philosopher phase, held forks show the holder.
+std::string to_dot(const Topology& t, const sim::SimState& state);
+
+}  // namespace gdp::graph

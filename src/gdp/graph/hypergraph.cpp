@@ -1,0 +1,80 @@
+#include "gdp/graph/hypergraph.hpp"
+
+#include <algorithm>
+
+#include "gdp/common/check.hpp"
+#include "gdp/rng/rng.hpp"
+
+namespace gdp::graph {
+
+HyperTopology::Builder::Builder(std::string name) : name_(std::move(name)) {}
+
+ForkId HyperTopology::Builder::add_forks(int count) {
+  GDP_CHECK_MSG(count > 0, "add_forks(" << count << ")");
+  const ForkId first = num_forks_;
+  num_forks_ += count;
+  return first;
+}
+
+PhilId HyperTopology::Builder::add_phil(std::vector<ForkId> forks) {
+  GDP_CHECK_MSG(forks.size() >= 2, "a hyper-philosopher needs >= 2 forks");
+  std::sort(forks.begin(), forks.end());
+  GDP_CHECK_MSG(std::adjacent_find(forks.begin(), forks.end()) == forks.end(),
+                "a hyper-philosopher's forks must be distinct");
+  GDP_CHECK_MSG(forks.front() >= 0 && forks.back() < num_forks_, "fork id out of range");
+  edges_.push_back(std::move(forks));
+  return static_cast<PhilId>(edges_.size() - 1);
+}
+
+HyperTopology HyperTopology::Builder::build() && {
+  GDP_CHECK_MSG(num_forks_ >= 2, "a system needs k >= 2 forks");
+  GDP_CHECK_MSG(!edges_.empty(), "a system needs n >= 1 philosophers");
+  HyperTopology t;
+  t.name_ = std::move(name_);
+  t.num_forks_ = num_forks_;
+  t.edges_ = std::move(edges_);
+  t.incident_.assign(static_cast<std::size_t>(num_forks_), {});
+  for (PhilId p = 0; p < static_cast<PhilId>(t.edges_.size()); ++p) {
+    for (ForkId f : t.edges_[static_cast<std::size_t>(p)]) {
+      t.incident_[static_cast<std::size_t>(f)].push_back(p);
+    }
+  }
+  return t;
+}
+
+HyperTopology hyper_ring(int k, int d) {
+  GDP_CHECK_MSG(k >= 3, "hyper_ring needs k >= 3 forks, got " << k);
+  GDP_CHECK_MSG(d >= 2 && d <= k - 1, "hyper_ring needs 2 <= d <= k-1, got d=" << d);
+  HyperTopology::Builder b("hyper_ring(k=" + std::to_string(k) + ",d=" + std::to_string(d) + ")");
+  b.add_forks(k);
+  for (int i = 0; i < k; ++i) {
+    std::vector<ForkId> forks;
+    forks.reserve(static_cast<std::size_t>(d));
+    for (int j = 0; j < d; ++j) forks.push_back((i + j) % k);
+    b.add_phil(std::move(forks));
+  }
+  return std::move(b).build();
+}
+
+HyperTopology hyper_random(int k, int n, int d, rng::Rng& rng) {
+  GDP_CHECK_MSG(k >= 2 && d >= 2 && d <= k, "hyper_random needs 2 <= d <= k");
+  HyperTopology::Builder b("hyper_random(k=" + std::to_string(k) + ",n=" + std::to_string(n) +
+                           ",d=" + std::to_string(d) + ")");
+  b.add_forks(k);
+  for (int i = 0; i < n; ++i) {
+    // Floyd's algorithm for a uniform d-subset of [0, k).
+    std::vector<ForkId> picked;
+    for (int j = k - d; j < k; ++j) {
+      const int candidate = rng.uniform_int(0, j);
+      if (std::find(picked.begin(), picked.end(), candidate) == picked.end()) {
+        picked.push_back(candidate);
+      } else {
+        picked.push_back(j);
+      }
+    }
+    b.add_phil(std::move(picked));
+  }
+  return std::move(b).build();
+}
+
+}  // namespace gdp::graph

@@ -1,0 +1,72 @@
+// Hypergraph topologies for the paper's §6 open problem: "the even more
+// general case of hypergraph-like connection structures, in which a
+// philosopher may need more than two forks to eat".
+//
+// A philosopher is now a hyperedge over d >= 2 forks. The two-fork Topology
+// embeds as the d == 2 case. Only the GDP-H algorithm (gdp/algos/gdp_hyper)
+// and experiment E11 use these.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gdp/common/ids.hpp"
+
+namespace gdp::rng {
+class Rng;
+}
+
+namespace gdp::graph {
+
+class HyperTopology {
+ public:
+  class Builder;
+
+  int num_forks() const { return num_forks_; }
+  int num_phils() const { return static_cast<int>(edges_.size()); }
+
+  /// The forks philosopher p needs (all of them, to eat). Sorted, distinct.
+  const std::vector<ForkId>& forks_of(PhilId p) const {
+    return edges_[static_cast<std::size_t>(p)];
+  }
+  int arity(PhilId p) const { return static_cast<int>(forks_of(p).size()); }
+
+  /// Philosophers needing fork f.
+  const std::vector<PhilId>& incident(ForkId f) const {
+    return incident_[static_cast<std::size_t>(f)];
+  }
+  int degree(ForkId f) const { return static_cast<int>(incident(f).size()); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  HyperTopology() = default;
+
+  int num_forks_ = 0;
+  std::vector<std::vector<ForkId>> edges_;
+  std::vector<std::vector<PhilId>> incident_;
+  std::string name_;
+};
+
+class HyperTopology::Builder {
+ public:
+  explicit Builder(std::string name = "hyper");
+  ForkId add_forks(int count);
+  /// Adds a philosopher needing every fork in `forks` (>= 2, distinct).
+  PhilId add_phil(std::vector<ForkId> forks);
+  HyperTopology build() &&;
+
+ private:
+  std::string name_;
+  int num_forks_ = 0;
+  std::vector<std::vector<ForkId>> edges_;
+};
+
+/// Ring of k forks where philosopher i needs the d consecutive forks
+/// i, i+1, ..., i+d-1 (mod k). k philosophers. Requires 2 <= d <= k - 1.
+HyperTopology hyper_ring(int k, int d);
+
+/// n philosophers, each over d uniformly-random distinct forks of k.
+HyperTopology hyper_random(int k, int n, int d, rng::Rng& rng);
+
+}  // namespace gdp::graph

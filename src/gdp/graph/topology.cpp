@@ -1,0 +1,116 @@
+#include "gdp/graph/topology.hpp"
+
+#include <algorithm>
+
+#include "gdp/common/check.hpp"
+
+namespace gdp::graph {
+
+Side Topology::side_of(PhilId p, ForkId f) const {
+  const Arc& a = arc(p);
+  if (a.left == f) return Side::kLeft;
+  GDP_CHECK_MSG(a.right == f, "fork " << f << " is not adjacent to philosopher " << p);
+  return Side::kRight;
+}
+
+ForkId Topology::other_fork(PhilId p, ForkId f) const {
+  const Arc& a = arc(p);
+  if (a.left == f) return a.right;
+  GDP_CHECK_MSG(a.right == f, "fork " << f << " is not adjacent to philosopher " << p);
+  return a.left;
+}
+
+std::span<const PhilId> Topology::incident(ForkId f) const {
+  const auto begin = static_cast<std::size_t>(incident_offset_[static_cast<std::size_t>(f)]);
+  const auto end = static_cast<std::size_t>(incident_offset_[static_cast<std::size_t>(f) + 1]);
+  return {incident_phils_.data() + begin, end - begin};
+}
+
+int Topology::max_degree() const {
+  return fork_degree_.empty() ? 0 : *std::max_element(fork_degree_.begin(), fork_degree_.end());
+}
+
+int Topology::slot_of(ForkId f, PhilId p) const {
+  const Arc& a = arc(p);
+  if (a.left == f) return slot_left_[static_cast<std::size_t>(p)];
+  GDP_CHECK_MSG(a.right == f, "fork " << f << " is not adjacent to philosopher " << p);
+  return slot_right_[static_cast<std::size_t>(p)];
+}
+
+int Topology::slot_at(PhilId p, Side s) const {
+  return s == Side::kLeft ? slot_left_[static_cast<std::size_t>(p)]
+                          : slot_right_[static_cast<std::size_t>(p)];
+}
+
+std::vector<PhilId> Topology::neighbors(PhilId p) const {
+  std::vector<PhilId> out;
+  for (ForkId f : {left_of(p), right_of(p)}) {
+    for (PhilId q : incident(f)) {
+      if (q != p && std::find(out.begin(), out.end(), q) == out.end()) out.push_back(q);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Topology::shares_fork(PhilId p, PhilId q) const {
+  const Arc& a = arc(p);
+  const Arc& b = arc(q);
+  return a.left == b.left || a.left == b.right || a.right == b.left || a.right == b.right;
+}
+
+Topology::Builder::Builder(std::string name) : name_(std::move(name)) {}
+
+ForkId Topology::Builder::add_forks(int count) {
+  GDP_CHECK_MSG(count > 0, "add_forks(" << count << ")");
+  const ForkId first = num_forks_;
+  num_forks_ += count;
+  return first;
+}
+
+PhilId Topology::Builder::add_phil(ForkId left, ForkId right) {
+  GDP_CHECK_MSG(left >= 0 && left < num_forks_, "left fork " << left << " out of range");
+  GDP_CHECK_MSG(right >= 0 && right < num_forks_, "right fork " << right << " out of range");
+  GDP_CHECK_MSG(left != right,
+                "philosopher must have two distinct forks (got fork " << left << " twice)");
+  arcs_.push_back(Arc{left, right});
+  return static_cast<PhilId>(arcs_.size() - 1);
+}
+
+Topology Topology::Builder::build() && {
+  GDP_CHECK_MSG(num_forks_ >= 2, "a system needs k >= 2 forks (Definition 1)");
+  GDP_CHECK_MSG(!arcs_.empty(), "a system needs n >= 1 philosophers (Definition 1)");
+
+  Topology t;
+  t.name_ = std::move(name_);
+  t.arcs_ = std::move(arcs_);
+  t.fork_degree_.assign(static_cast<std::size_t>(num_forks_), 0);
+  for (const Arc& a : t.arcs_) {
+    ++t.fork_degree_[static_cast<std::size_t>(a.left)];
+    ++t.fork_degree_[static_cast<std::size_t>(a.right)];
+  }
+
+  // CSR incidence lists, philosophers in id order within each fork.
+  t.incident_offset_.assign(static_cast<std::size_t>(num_forks_) + 1, 0);
+  for (int f = 0; f < num_forks_; ++f) {
+    t.incident_offset_[static_cast<std::size_t>(f) + 1] =
+        t.incident_offset_[static_cast<std::size_t>(f)] + t.fork_degree_[static_cast<std::size_t>(f)];
+  }
+  t.incident_phils_.assign(t.incident_offset_.back(), kNoPhil);
+  std::vector<int> cursor(t.incident_offset_.begin(), t.incident_offset_.end() - 1);
+  t.slot_left_.assign(t.arcs_.size(), 0);
+  t.slot_right_.assign(t.arcs_.size(), 0);
+  for (PhilId p = 0; p < static_cast<PhilId>(t.arcs_.size()); ++p) {
+    const Arc& a = t.arcs_[static_cast<std::size_t>(p)];
+    auto place = [&](ForkId f) {
+      const int at = cursor[static_cast<std::size_t>(f)]++;
+      t.incident_phils_[static_cast<std::size_t>(at)] = p;
+      return at - t.incident_offset_[static_cast<std::size_t>(f)];
+    };
+    t.slot_left_[static_cast<std::size_t>(p)] = place(a.left);
+    t.slot_right_[static_cast<std::size_t>(p)] = place(a.right);
+  }
+  return t;
+}
+
+}  // namespace gdp::graph

@@ -1,0 +1,116 @@
+// The generalized dining-philosophers topology (paper §2, Definition 1).
+//
+// A system is an undirected *multigraph* whose nodes are forks and whose arcs
+// are philosophers: a philosopher is an arc between its two (distinct) forks,
+// a fork may be shared by arbitrarily many philosophers, and parallel arcs
+// are allowed (two philosophers sharing both forks — Figure 1's leftmost
+// system is a triangle of forks with every arc doubled).
+//
+// Each philosopher fixes a `left`/`right` designation for its endpoints at
+// construction time. The designation carries no meaning beyond the paper's
+// own use of the words (the random draw picks between the two).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gdp/common/ids.hpp"
+
+namespace gdp::graph {
+
+/// One philosopher: an arc between two distinct forks.
+struct Arc {
+  ForkId left = kNoFork;
+  ForkId right = kNoFork;
+
+  ForkId fork(Side s) const { return s == Side::kLeft ? left : right; }
+  bool operator==(const Arc&) const = default;
+};
+
+/// Immutable system topology. Create through Topology::Builder or the
+/// builders in gdp/graph/builders.hpp.
+class Topology {
+ public:
+  class Builder;
+
+  int num_forks() const { return static_cast<int>(fork_degree_.size()); }
+  int num_phils() const { return static_cast<int>(arcs_.size()); }
+
+  /// The arc (fork pair) of philosopher `p`.
+  const Arc& arc(PhilId p) const { return arcs_[static_cast<std::size_t>(p)]; }
+  ForkId fork_of(PhilId p, Side s) const { return arc(p).fork(s); }
+  ForkId left_of(PhilId p) const { return arc(p).left; }
+  ForkId right_of(PhilId p) const { return arc(p).right; }
+
+  /// Given one of p's forks, the side it sits on. Precondition: f is one of
+  /// p's forks.
+  Side side_of(PhilId p, ForkId f) const;
+
+  /// Given one of p's forks, the *other* one ("other(fork)" in the paper).
+  ForkId other_fork(PhilId p, ForkId f) const;
+
+  /// Philosophers incident on fork `f`, in a fixed order. The position of a
+  /// philosopher within this list is its *slot*, used to index per-fork
+  /// per-sharer state (request flags, guest-book ranks).
+  std::span<const PhilId> incident(ForkId f) const;
+
+  /// Number of philosophers sharing fork `f` (the node degree).
+  int degree(ForkId f) const { return fork_degree_[static_cast<std::size_t>(f)]; }
+  int max_degree() const;
+
+  /// Slot of philosopher `p` within incident(f). Precondition: p touches f.
+  int slot_of(ForkId f, PhilId p) const;
+  /// Slot of p within its own left/right fork's incidence list (O(1)).
+  int slot_at(PhilId p, Side s) const;
+
+  /// Philosophers (other than p) sharing at least one fork with p.
+  std::vector<PhilId> neighbors(PhilId p) const;
+
+  /// True if p and q (p != q) share at least one fork.
+  bool shares_fork(PhilId p, PhilId q) const;
+
+  /// Human-readable name, e.g. "ring(5)" or "fig1a(6ph,3f)".
+  const std::string& name() const { return name_; }
+
+  bool operator==(const Topology& rhs) const {
+    return arcs_ == rhs.arcs_ && num_forks() == rhs.num_forks();
+  }
+
+ private:
+  Topology() = default;
+
+  std::vector<Arc> arcs_;
+  std::vector<int> fork_degree_;
+  // CSR incidence: incident(f) = incident_phils_[offset_[f] .. offset_[f+1])
+  std::vector<int> incident_offset_;
+  std::vector<PhilId> incident_phils_;
+  // Per philosopher: slot within the left / right fork's incidence list.
+  std::vector<int> slot_left_;
+  std::vector<int> slot_right_;
+  std::string name_;
+};
+
+/// Incremental construction with validation (Definition 1's constraints:
+/// k >= 2 forks, every philosopher has two *distinct* forks).
+class Topology::Builder {
+ public:
+  explicit Builder(std::string name = "custom");
+
+  /// Declares `count` additional forks; returns the id of the first.
+  ForkId add_forks(int count);
+
+  /// Adds a philosopher between the two distinct forks; returns its id.
+  PhilId add_phil(ForkId left, ForkId right);
+
+  /// Validates and freezes. Throws PreconditionError on a malformed system.
+  Topology build() &&;
+
+ private:
+  std::string name_;
+  int num_forks_ = 0;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace gdp::graph

@@ -1,0 +1,107 @@
+#include "gdp/mdp/chain_analysis.hpp"
+
+#include <cmath>
+
+#include "gdp/common/check.hpp"
+
+namespace gdp::mdp {
+namespace {
+
+/// One uniform-scheduler expectation sweep: out(s) = mean over philosophers
+/// of the branch-weighted value at successors. Frontier states contribute
+/// `frontier_value` (conservative bounds on truncated models).
+double sweep(const Model& model, std::vector<double>& value, bool expected_time,
+             double frontier_value) {
+  const int n = model.num_phils();
+  double delta = 0.0;
+  for (StateId s = 0; s < model.num_states(); ++s) {
+    if (model.eating(s)) continue;
+    if (model.frontier(s)) {
+      value[s] = frontier_value;
+      continue;
+    }
+    double acc = 0.0;
+    for (int p = 0; p < n; ++p) {
+      const auto [begin, end] = model.row(s, p);
+      for (const Outcome* o = begin; o != end; ++o) {
+        acc += static_cast<double>(o->prob) *
+               (model.eating(o->next) ? (expected_time ? 0.0 : 1.0) : value[o->next]);
+      }
+    }
+    const double updated = (expected_time ? 1.0 : 0.0) + acc / n;
+    delta = std::max(delta, std::abs(updated - value[s]));
+    value[s] = updated;
+  }
+  return delta;
+}
+
+}  // namespace
+
+ChainAnalysis analyze_uniform_chain(const Model& model, double epsilon,
+                                    std::size_t max_iterations) {
+  ChainAnalysis out;
+  const std::size_t n_states = model.num_states();
+
+  // Reach probability: least fixed point from below.
+  std::vector<double> reach(n_states, 0.0);
+  std::size_t it = 0;
+  for (; it < max_iterations; ++it) {
+    if (sweep(model, reach, /*expected_time=*/false, /*frontier_value=*/0.0) < epsilon) break;
+  }
+  out.p_reach = model.eating(model.initial()) ? 1.0 : reach[model.initial()];
+  out.iterations = it;
+
+  // Expected hitting time (only meaningful when reach ~ 1 everywhere that
+  // matters; we still run the sweep and report convergence).
+  std::vector<double> time(n_states, 0.0);
+  bool converged = false;
+  for (std::size_t i = 0; i < max_iterations; ++i) {
+    if (sweep(model, time, /*expected_time=*/true, /*frontier_value=*/0.0) < epsilon) {
+      converged = true;
+      break;
+    }
+    ++out.iterations;
+  }
+  out.expected_steps = model.eating(model.initial()) ? 0.0 : time[model.initial()];
+  out.expected_converged = converged && out.p_reach > 1.0 - 1e-6;
+  return out;
+}
+
+std::vector<double> reach_curve(const Model& model, std::size_t horizon) {
+  // value[s] = P(reach E within i steps from s); frontier states pessimistic 0.
+  std::vector<double> value(model.num_states(), 0.0);
+  std::vector<double> next(model.num_states(), 0.0);
+  std::vector<double> curve;
+  curve.reserve(horizon + 1);
+  for (StateId s = 0; s < model.num_states(); ++s) {
+    if (model.eating(s)) value[s] = 1.0;
+  }
+  curve.push_back(value[model.initial()]);
+
+  const int n = model.num_phils();
+  for (std::size_t i = 1; i <= horizon; ++i) {
+    for (StateId s = 0; s < model.num_states(); ++s) {
+      if (model.eating(s)) {
+        next[s] = 1.0;
+        continue;
+      }
+      if (model.frontier(s)) {
+        next[s] = 0.0;
+        continue;
+      }
+      double acc = 0.0;
+      for (int p = 0; p < n; ++p) {
+        const auto [begin, end] = model.row(s, p);
+        for (const Outcome* o = begin; o != end; ++o) {
+          acc += static_cast<double>(o->prob) * value[o->next];
+        }
+      }
+      next[s] = acc / n;
+    }
+    value.swap(next);
+    curve.push_back(value[model.initial()]);
+  }
+  return curve;
+}
+
+}  // namespace gdp::mdp

@@ -1,0 +1,32 @@
+// Quantitative analysis of the Markov chain induced by the *uniform fair
+// scheduler* (each philosopher equally likely each step): hitting
+// probabilities and expected hitting times of the eating set E, plus the
+// within-N-steps reachability curve. Complements the qualitative fair-EC
+// verdicts with numbers the benches report (experiments E5, E10).
+#pragma once
+
+#include <vector>
+
+#include "gdp/mdp/model.hpp"
+
+namespace gdp::mdp {
+
+struct ChainAnalysis {
+  /// P(reach E eventually) from the initial state under uniform scheduling.
+  double p_reach = 0.0;
+  /// E[steps to reach E] from the initial state; meaningful when p_reach
+  /// is (numerically) 1, +inf otherwise.
+  double expected_steps = 0.0;
+  bool expected_converged = false;
+  std::size_t iterations = 0;
+};
+
+/// Fixed-point iteration (monotone from below for p_reach; Gauss-Seidel for
+/// the expected time). `epsilon` is the sup-norm stopping threshold.
+ChainAnalysis analyze_uniform_chain(const Model& model, double epsilon = 1e-9,
+                                    std::size_t max_iterations = 200'000);
+
+/// P(reach E within i steps) for i = 0..horizon, from the initial state.
+std::vector<double> reach_curve(const Model& model, std::size_t horizon);
+
+}  // namespace gdp::mdp

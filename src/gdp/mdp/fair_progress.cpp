@@ -1,0 +1,65 @@
+#include "gdp/mdp/fair_progress.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gdp::mdp {
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kProgressCertain: return "progress w.p. 1 (certified)";
+    case Verdict::kProgressFails: return "NO progress (fair trap exists)";
+    case Verdict::kUnknownTruncated: return "unknown (state space truncated)";
+  }
+  return "?";
+}
+
+std::string FairProgressResult::summary() const {
+  std::ostringstream out;
+  out << to_string(verdict) << " — " << num_states << " states, " << num_mecs
+      << " restricted MECs, " << num_fair_mecs << " fair";
+  if (witness_size != 0) out << ", witness EC of " << witness_size << " states";
+  return out.str();
+}
+
+FairProgressResult check_fair_progress(const Model& model, std::uint64_t set_mask) {
+  FairProgressResult result;
+  result.avoid_set = set_mask;
+  result.num_states = model.num_states();
+
+  const std::vector<EndComponent> mecs = maximal_end_components(model, set_mask);
+  result.num_mecs = mecs.size();
+
+  const std::vector<bool> reached = reachable_states(model);
+  for (const EndComponent& mec : mecs) {
+    if (!mec.fair(model.num_phils())) continue;
+    ++result.num_fair_mecs;
+    const bool reachable = std::any_of(mec.states.begin(), mec.states.end(),
+                                       [&](StateId s) { return reached[s]; });
+    if (reachable && result.witness_size == 0) {
+      result.witness_size = mec.states.size();
+      result.witness_state = mec.states.front();
+    }
+  }
+
+  if (result.witness_size != 0) {
+    result.verdict = Verdict::kProgressFails;
+  } else if (model.truncated()) {
+    result.verdict = Verdict::kUnknownTruncated;
+  } else {
+    result.verdict = Verdict::kProgressCertain;
+  }
+  return result;
+}
+
+FairProgressResult check_lockout_freedom(const Model& model, PhilId victim) {
+  return check_fair_progress(model, std::uint64_t{1} << victim);
+}
+
+FairProgressResult check_fair_progress(const algos::Algorithm& algo, const graph::Topology& t,
+                                       std::size_t max_states, std::uint64_t set_mask) {
+  const Model model = explore(algo, t, max_states);
+  return check_fair_progress(model, set_mask);
+}
+
+}  // namespace gdp::mdp

@@ -1,0 +1,76 @@
+// Explicit-state MDP extracted from (algorithm x topology).
+//
+// The paper's §2 computation model is a probabilistic automaton in the sense
+// of Segala & Lynch: nondeterminism (which philosopher steps) is resolved by
+// an adversary, randomness by the algorithm's draws. For finite systems in
+// the all-hungry setting this is a finite MDP whose actions are philosopher
+// ids: exploring it lets us *decide* the paper's progress statements
+// mechanically instead of only sampling runs (see fair_progress.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gdp/algos/algorithm.hpp"
+#include "gdp/graph/topology.hpp"
+
+namespace gdp::mdp {
+
+using StateId = std::uint32_t;
+
+struct Outcome {
+  float prob = 0.0f;
+  StateId next = 0;
+};
+
+/// CSR-packed MDP. Row (state s, philosopher p) holds the probabilistic
+/// outcomes of scheduling p in s; every state has exactly `num_phils` rows.
+class Model {
+ public:
+  int num_phils() const { return num_phils_; }
+  std::size_t num_states() const { return eaters_.size(); }
+  StateId initial() const { return 0; }
+
+  bool eating(StateId s) const { return eaters_[s] != 0; }
+
+  /// Bitmask of philosophers eating in s (bit p). The paper's E is
+  /// eaters(s) != 0; E restricted to a set S is (eaters(s) & S) != 0.
+  std::uint64_t eaters(StateId s) const { return eaters_[s]; }
+
+  /// Outcomes of scheduling philosopher p in state s.
+  std::pair<const Outcome*, const Outcome*> row(StateId s, int p) const {
+    const std::size_t idx = static_cast<std::size_t>(s) * static_cast<std::size_t>(num_phils_) +
+                            static_cast<std::size_t>(p);
+    return {outcomes_.data() + offsets_[idx], outcomes_.data() + offsets_[idx + 1]};
+  }
+
+  /// True if exploration hit the state cap: the model is a prefix, and
+  /// states beyond the cap appear as `frontier` states with no rows.
+  bool truncated() const { return truncated_; }
+  bool frontier(StateId s) const { return frontier_[s]; }
+
+  /// Total number of (state, action) rows, for reporting.
+  std::size_t num_rows() const { return num_states() * static_cast<std::size_t>(num_phils_); }
+
+ private:
+  friend Model detail_explore(const algos::Algorithm&, const graph::Topology&, std::size_t,
+                              void* index_out);
+
+  int num_phils_ = 0;
+  std::vector<std::uint64_t> offsets_;  // (num_states * num_phils) + 1
+  std::vector<Outcome> outcomes_;
+  std::vector<std::uint64_t> eaters_;
+  std::vector<bool> frontier_;
+  bool truncated_ = false;
+};
+
+/// Breadth-first exploration from the algorithm's initial state (all
+/// philosophers thinking). Stops expanding at `max_states`; unexpanded
+/// frontier states are flagged on the model.
+///
+/// Requires ThinkMode::kHungry (the proofs' all-hungry setting) so the MDP
+/// stays finite and E-avoidance is meaningful.
+Model explore(const algos::Algorithm& algo, const graph::Topology& t,
+              std::size_t max_states = 2'000'000);
+
+}  // namespace gdp::mdp

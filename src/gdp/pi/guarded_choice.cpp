@@ -1,0 +1,223 @@
+#include "gdp/pi/guarded_choice.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "gdp/common/check.hpp"
+#include "gdp/rng/rng.hpp"
+#include "gdp/runtime/atomic_fork.hpp"
+
+namespace gdp::pi {
+namespace {
+
+/// An agent's claimable intent. state: 0 = open, -1 = retracted,
+/// c + 1 = committed to a rendezvous on channel c.
+struct Offer {
+  PhilId agent = kNoPhil;
+  bool is_send = false;
+  std::atomic<int> state{0};
+};
+
+/// A channel: a fork-like lock (the holder may scan/mutate the offer list)
+/// plus the GDP nr priority carried by the lock object.
+struct Channel {
+  runtime::AtomicFork lock;
+  std::vector<Offer*> offers;  // guarded by `lock` (holder-only access)
+  std::atomic<std::uint64_t> syncs{0};
+};
+
+struct Shared {
+  explicit Shared(const graph::Topology& t) : topology(t) {}
+  const graph::Topology& topology;
+  std::deque<Channel> channels;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> rendezvous{0};
+  std::atomic<std::uint64_t> violations{0};
+  std::uint64_t target = 0;
+  int m = 0;
+};
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class Agent {
+ public:
+  Agent(Shared& shared, PhilId id, std::uint64_t seed, std::uint64_t& syncs_out)
+      : s_(shared),
+        id_(id),
+        rng_(seed),
+        syncs_(syncs_out),
+        left_(shared.topology.left_of(id)),
+        right_(shared.topology.right_of(id)) {}
+
+  void run() {
+    Offer* mine = nullptr;  // currently posted offer, if any
+    while (!s_.stop.load(std::memory_order_relaxed)) {
+      // If a previously posted offer got claimed, the rendezvous is ours too.
+      if (mine != nullptr) {
+        const int state = mine->state.load(std::memory_order_acquire);
+        if (state > 0) {
+          if (state - 1 != left_ && state - 1 != right_) {
+            s_.violations.fetch_add(1, std::memory_order_relaxed);
+          }
+          ++syncs_;
+          mine = nullptr;
+          continue;
+        }
+      }
+
+      if (!acquire_both()) break;
+      // --- both channels locked: scan for a complementary open offer.
+      Offer* matched = nullptr;
+      ForkId matched_on = kNoFork;
+      for (ForkId c : {left_, right_}) {
+        auto& offers = channel(c).offers;
+        std::erase_if(offers, [](Offer* o) { return o->state.load() != 0; });
+        for (Offer* candidate : offers) {
+          if (candidate->agent == id_) continue;
+          int expected = 0;
+          if (candidate->state.compare_exchange_strong(expected, c + 1,
+                                                       std::memory_order_acq_rel)) {
+            matched = candidate;
+            matched_on = c;
+            break;
+          }
+        }
+        if (matched != nullptr) break;
+      }
+
+      if (matched != nullptr) {
+        // Rendezvous committed: retract our own pending offer, if any (both
+        // of its channels are locked by us, so the CAS cannot race a claim).
+        if (mine != nullptr) {
+          int expected = 0;
+          mine->state.compare_exchange_strong(expected, -1, std::memory_order_acq_rel);
+          mine = nullptr;
+        }
+        channel(matched_on).syncs.fetch_add(1, std::memory_order_relaxed);
+        ++syncs_;
+        const std::uint64_t total = s_.rendezvous.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (total >= s_.target) s_.stop.store(true, std::memory_order_relaxed);
+      } else if (mine == nullptr) {
+        // Nothing to match: publish our mixed choice on both channels.
+        pool_.emplace_back();
+        mine = &pool_.back();
+        mine->agent = id_;
+        mine->is_send = (id_ % 2 == 0);
+        channel(left_).offers.push_back(mine);
+        channel(right_).offers.push_back(mine);
+      }
+      release_both();
+
+      // Wait a bounded while for a peer to claim our offer before retrying.
+      for (int spin = 0; spin < 512 && mine != nullptr; ++spin) {
+        if (mine->state.load(std::memory_order_acquire) != 0 ||
+            s_.stop.load(std::memory_order_relaxed)) {
+          break;
+        }
+        cpu_relax();
+      }
+    }
+    // Final claim check so late rendezvous still count.
+    if (mine != nullptr && mine->state.load(std::memory_order_acquire) > 0) ++syncs_;
+  }
+
+ private:
+  Channel& channel(ForkId c) { return s_.channels[static_cast<std::size_t>(c)]; }
+
+  /// GDP1-style two-channel acquisition: higher nr first (ties right),
+  /// re-randomize on equality, single attempt on the second.
+  bool acquire_both() {
+    while (true) {
+      if (s_.stop.load(std::memory_order_relaxed)) return false;
+      const bool left_first = channel(left_).lock.nr() > channel(right_).lock.nr();
+      const ForkId f = left_first ? left_ : right_;
+      const ForkId g = left_first ? right_ : left_;
+      for (std::uint32_t spins = 0; !channel(f).lock.try_take(id_); ++spins) {
+        if (s_.stop.load(std::memory_order_relaxed)) return false;
+        if ((spins & 0x3ff) == 0x3ff) std::this_thread::yield();
+        cpu_relax();
+      }
+      if (channel(f).lock.nr() == channel(g).lock.nr()) {
+        channel(f).lock.set_nr(id_, static_cast<std::uint16_t>(rng_.uniform_int(1, s_.m)));
+      }
+      if (channel(g).lock.try_take(id_)) return true;
+      channel(f).lock.release(id_);
+      cpu_relax();
+    }
+  }
+
+  void release_both() {
+    channel(left_).lock.release(id_);
+    channel(right_).lock.release(id_);
+  }
+
+  Shared& s_;
+  const PhilId id_;
+  rng::Rng rng_;
+  std::uint64_t& syncs_;
+  const ForkId left_, right_;
+  std::deque<Offer> pool_;  // stable addresses; offers may outlive attempts
+};
+
+}  // namespace
+
+bool ChoiceResult::everyone_synced() const {
+  return std::all_of(syncs_of.begin(), syncs_of.end(), [](std::uint64_t s) { return s > 0; });
+}
+
+ChoiceResult run_guarded_choice(const graph::Topology& t, const ChoiceConfig& config) {
+  GDP_CHECK_MSG(config.target_syncs > 0, "run_guarded_choice needs a sync target");
+
+  Shared shared(t);
+  shared.target = config.target_syncs;
+  shared.m = config.m != 0 ? config.m : t.num_forks();
+  GDP_CHECK_MSG(shared.m >= t.num_forks(), "GDP requires m >= number of channels");
+  for (ForkId c = 0; c < t.num_forks(); ++c) shared.channels.emplace_back();
+
+  std::vector<std::uint64_t> syncs_of(static_cast<std::size_t>(t.num_phils()), 0);
+  rng::Rng seeder(config.seed);
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(t.num_phils()));
+    for (PhilId a = 0; a < t.num_phils(); ++a) {
+      const std::uint64_t seed = seeder.split(static_cast<std::uint64_t>(a)).next_u64();
+      threads.emplace_back([&shared, a, seed, &syncs_of] {
+        Agent agent(shared, a, seed, syncs_of[static_cast<std::size_t>(a)]);
+        agent.run();
+      });
+    }
+    const auto deadline = start + config.max_duration;
+    while (!shared.stop.load(std::memory_order_relaxed) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    shared.stop.store(true, std::memory_order_relaxed);
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  ChoiceResult result;
+  result.syncs_of = std::move(syncs_of);
+  result.total_syncs = shared.rendezvous.load();
+  for (ForkId c = 0; c < t.num_forks(); ++c) {
+    result.syncs_on.push_back(shared.channels[static_cast<std::size_t>(c)].syncs.load());
+  }
+  result.elapsed_seconds = std::chrono::duration<double>(end - start).count();
+  result.syncs_per_second = result.elapsed_seconds > 0
+                                ? static_cast<double>(result.total_syncs) / result.elapsed_seconds
+                                : 0.0;
+  result.violations = shared.violations.load();
+  return result;
+}
+
+}  // namespace gdp::pi

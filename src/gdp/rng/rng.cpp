@@ -1,0 +1,75 @@
+#include "gdp/rng/rng.hpp"
+
+#include "gdp/common/check.hpp"
+#include "gdp/rng/splitmix.hpp"
+#include "gdp/rng/xoshiro.hpp"
+
+namespace gdp::rng {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  SplitMix64 mixer(seed);
+  for (auto& word : s_) word = mixer.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  ++draws_;
+  // xoshiro256** step, inlined over the flat state array.
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+Side Rng::choose_side(double p_left) {
+  GDP_DCHECK(p_left >= 0.0 && p_left <= 1.0);
+  return uniform01() < p_left ? Side::kLeft : Side::kRight;
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  GDP_CHECK_MSG(lo <= hi, "uniform_int range [" << lo << "," << hi << "]");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // Lemire's nearly-divisionless unbiased bounded draw.
+  std::uint64_t x = next_u64();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * span;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < span) {
+    const std::uint64_t threshold = (0 - span) % span;
+    while (l < threshold) {
+      x = next_u64();
+      m = static_cast<unsigned __int128>(x) * span;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<int>(m >> 64);
+}
+
+bool Rng::bernoulli(double p) {
+  GDP_DCHECK(p >= 0.0 && p <= 1.0);
+  return uniform01() < p;
+}
+
+Rng Rng::split(std::uint64_t stream_index) const {
+  // Mixing (seed, stream) through two SplitMix64 rounds gives streams that
+  // are decorrelated from the parent and from each other.
+  const std::uint64_t child_seed =
+      splitmix64_once(seed_ ^ splitmix64_once(0x5851f42d4c957f2dULL + stream_index));
+  return Rng(child_seed);
+}
+
+}  // namespace gdp::rng

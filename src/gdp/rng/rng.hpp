@@ -1,0 +1,68 @@
+// Randomness interface for the whole library.
+//
+// Algorithms and schedulers draw through the semantic-level RandomSource
+// interface (choose_side / uniform_int / bernoulli) so that:
+//   * simulation uses high-quality deterministic pseudo-randomness (Rng),
+//   * the trace replayer can force the exact outcomes of the paper's
+//     adversarial executions (ScriptedRng, see scripted.hpp),
+//   * tests can count and audit every draw.
+//
+// Probabilities follow the paper: the first-fork draw may be biased
+// (the negative results "do not depend on this assumption", §3), and
+// random[1,m] is uniform (§4).
+#pragma once
+
+#include <cstdint>
+
+#include "gdp/common/ids.hpp"
+
+namespace gdp::rng {
+
+/// Semantic source of randomness. Implementations must be deterministic
+/// given their construction arguments.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// One raw 64-bit draw.
+  virtual std::uint64_t next_u64() = 0;
+
+  /// The philosopher's coin of LR1/LR2 step "fork := random_choice(left,right)".
+  /// Returns kLeft with probability `p_left`.
+  virtual Side choose_side(double p_left) = 0;
+
+  /// The GDP draw "fork.nr := random[1,m]": uniform integer in [lo, hi].
+  virtual int uniform_int(int lo, int hi) = 0;
+
+  /// True with probability `p`.
+  virtual bool bernoulli(double p) = 0;
+};
+
+/// Production source: xoshiro256** behind the semantic interface.
+class Rng final : public RandomSource {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64() override;
+  Side choose_side(double p_left) override;
+  int uniform_int(int lo, int hi) override;
+  bool bernoulli(double p) override;
+
+  /// A double in [0, 1) with 53 random bits.
+  double uniform01();
+
+  /// Derives an independent child stream. Child `i` of a given parent is
+  /// reproducible and (statistically) independent of the parent and of
+  /// other children; used for per-philosopher / per-trial streams.
+  Rng split(std::uint64_t stream_index) const;
+
+  /// Number of semantic draws made so far (for tests and draw audits).
+  std::uint64_t draw_count() const { return draws_; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t s_[4];
+  std::uint64_t draws_ = 0;
+};
+
+}  // namespace gdp::rng

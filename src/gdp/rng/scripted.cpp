@@ -1,0 +1,50 @@
+#include "gdp/rng/scripted.hpp"
+
+#include "gdp/common/check.hpp"
+
+namespace gdp::rng {
+
+ScriptedRng::ScriptedRng(std::uint64_t fallback_seed) : fallback_(fallback_seed) {}
+
+void ScriptedRng::force_side(Side side) { script_.push_back(ForcedSide{side}); }
+
+void ScriptedRng::force_int(int value) { script_.push_back(ForcedInt{value}); }
+
+std::uint64_t ScriptedRng::next_u64() {
+  fell_through_ = true;
+  return fallback_.next_u64();
+}
+
+Side ScriptedRng::choose_side(double p_left) {
+  if (!script_.empty()) {
+    const ForcedDraw draw = script_.front();
+    GDP_CHECK_MSG(std::holds_alternative<ForcedSide>(draw),
+                  "script expected a side draw but an int draw was queued");
+    script_.pop_front();
+    return std::get<ForcedSide>(draw).side;
+  }
+  fell_through_ = true;
+  return fallback_.choose_side(p_left);
+}
+
+int ScriptedRng::uniform_int(int lo, int hi) {
+  if (!script_.empty()) {
+    const ForcedDraw draw = script_.front();
+    GDP_CHECK_MSG(std::holds_alternative<ForcedInt>(draw),
+                  "script expected an int draw but a side draw was queued");
+    script_.pop_front();
+    const int value = std::get<ForcedInt>(draw).value;
+    GDP_CHECK_MSG(value >= lo && value <= hi,
+                  "scripted value " << value << " outside [" << lo << "," << hi << "]");
+    return value;
+  }
+  fell_through_ = true;
+  return fallback_.uniform_int(lo, hi);
+}
+
+bool ScriptedRng::bernoulli(double p) {
+  fell_through_ = true;
+  return fallback_.bernoulli(p);
+}
+
+}  // namespace gdp::rng

@@ -1,0 +1,54 @@
+// ScriptedRng — a RandomSource whose semantic outcomes are forced by a
+// script, with a real Rng as fallback once the script is exhausted.
+//
+// This is how the paper's figures are replayed exactly: the §3 example, the
+// Theorem 1 (Figure 2) and Theorem 2 (Figure 3) executions all require the
+// adversary to "keep selecting P until he commits to the taken fork"; the
+// replayer scripts both the schedule and the random draws to land in each
+// depicted state, while the probability measurements use free randomness.
+#pragma once
+
+#include <deque>
+#include <variant>
+
+#include "gdp/rng/rng.hpp"
+
+namespace gdp::rng {
+
+/// One scripted outcome. `ForcedSide` feeds the next choose_side() call,
+/// `ForcedInt` the next uniform_int() call.
+struct ForcedSide {
+  Side side;
+};
+struct ForcedInt {
+  int value;
+};
+using ForcedDraw = std::variant<ForcedSide, ForcedInt>;
+
+class ScriptedRng final : public RandomSource {
+ public:
+  /// `fallback_seed` seeds the Rng used after (or between) forced draws.
+  explicit ScriptedRng(std::uint64_t fallback_seed);
+
+  /// Appends forced outcomes, consumed in FIFO order by draw kind.
+  void force_side(Side side);
+  void force_int(int value);
+
+  /// Number of forced draws not yet consumed.
+  std::size_t pending() const { return script_.size(); }
+
+  /// True if any semantic draw fell through to the fallback Rng.
+  bool fell_through() const { return fell_through_; }
+
+  std::uint64_t next_u64() override;
+  Side choose_side(double p_left) override;
+  int uniform_int(int lo, int hi) override;
+  bool bernoulli(double p) override;
+
+ private:
+  std::deque<ForcedDraw> script_;
+  Rng fallback_;
+  bool fell_through_ = false;
+};
+
+}  // namespace gdp::rng

@@ -1,0 +1,31 @@
+// SplitMix64 — the standard 64-bit seeding/stream-derivation mixer
+// (Steele, Lea, Flood 2014). Used to expand a single user seed into
+// well-distributed per-philosopher stream seeds; never used as the main
+// generator.
+#pragma once
+
+#include <cstdint>
+
+namespace gdp::rng {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-shot mix, handy for hashing ids into seeds.
+constexpr std::uint64_t splitmix64_once(std::uint64_t x) {
+  return SplitMix64(x).next();
+}
+
+}  // namespace gdp::rng

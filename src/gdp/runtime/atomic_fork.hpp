@@ -1,0 +1,55 @@
+// A fork as a lock-free shared object. The paper's atomic
+// "if isFree(fork) then take(fork)" test-and-set is a single
+// compare-exchange on the holder word; nr is the GDP number field (§4),
+// written only by the current holder, read by anyone (relaxed is fine for
+// the algorithm's correctness: nr is a heuristic priority, and the proofs
+// only need that writes eventually become visible — acquire/release gives
+// us that and keeps the TSan story clean).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "gdp/common/check.hpp"
+#include "gdp/common/ids.hpp"
+
+namespace gdp::runtime {
+
+class AtomicFork {
+ public:
+  AtomicFork() = default;
+  AtomicFork(const AtomicFork&) = delete;
+  AtomicFork& operator=(const AtomicFork&) = delete;
+
+  /// Atomic test-and-set: true iff the fork was free and is now held by p.
+  bool try_take(PhilId p) {
+    PhilId expected = kNoPhil;
+    return holder_.compare_exchange_strong(expected, p, std::memory_order_acquire,
+                                           std::memory_order_relaxed);
+  }
+
+  /// Release by the holder. Checked in debug builds.
+  void release(PhilId p) {
+    GDP_DCHECK(holder_.load(std::memory_order_relaxed) == p);
+    (void)p;
+    holder_.store(kNoPhil, std::memory_order_release);
+  }
+
+  bool is_free() const { return holder_.load(std::memory_order_acquire) == kNoPhil; }
+  PhilId holder() const { return holder_.load(std::memory_order_acquire); }
+
+  std::uint16_t nr() const { return nr_.load(std::memory_order_acquire); }
+
+  /// Paper rule: only the philosopher holding the fork may renumber it.
+  void set_nr(PhilId p, std::uint16_t value) {
+    GDP_DCHECK(holder_.load(std::memory_order_relaxed) == p);
+    (void)p;
+    nr_.store(value, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<PhilId> holder_{kNoPhil};
+  std::atomic<std::uint16_t> nr_{0};
+};
+
+}  // namespace gdp::runtime

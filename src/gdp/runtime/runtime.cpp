@@ -1,0 +1,351 @@
+#include "gdp/runtime/runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <thread>
+
+#include "gdp/common/check.hpp"
+#include "gdp/rng/rng.hpp"
+#include "gdp/runtime/atomic_fork.hpp"
+#include "gdp/runtime/shared_books.hpp"
+
+namespace gdp::runtime {
+namespace {
+
+enum class Kind : std::uint8_t { kLr1, kLr2, kGdp1, kGdp2, kGdp2c, kOrdered, kTicket };
+
+Kind parse_kind(const std::string& name) {
+  if (name == "lr1") return Kind::kLr1;
+  if (name == "lr2") return Kind::kLr2;
+  if (name == "gdp1") return Kind::kGdp1;
+  if (name == "gdp2") return Kind::kGdp2;
+  if (name == "gdp2c") return Kind::kGdp2c;
+  if (name == "ordered") return Kind::kOrdered;
+  if (name == "ticket") return Kind::kTicket;
+  GDP_CHECK_MSG(false, "run_threads: unsupported algorithm '" << name << "'");
+  __builtin_unreachable();
+}
+
+bool uses_books(Kind kind) { return kind == Kind::kLr2 || kind == Kind::kGdp2 || kind == Kind::kGdp2c; }
+bool is_gdp(Kind kind) {
+  return kind == Kind::kGdp1 || kind == Kind::kGdp2 || kind == Kind::kGdp2c;
+}
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Calibrated-ish busy work for think/eat phases.
+inline void busy_work(int iterations) {
+  for (int i = 0; i < iterations; ++i) cpu_relax();
+}
+
+struct Shared {
+  explicit Shared(const graph::Topology& t) : topology(t) {}
+  const graph::Topology& topology;
+  std::deque<AtomicFork> forks;                  // stable addresses, non-movable ok
+  std::deque<std::atomic<int>> eaters_canary;    // per fork: concurrent users
+  std::vector<std::unique_ptr<ForkBooks>> books;
+  std::atomic<std::int32_t> tickets{0};
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> meals{0};
+  std::atomic<std::uint64_t> violations{0};
+  std::uint64_t target_meals = 0;
+
+  Kind kind = Kind::kGdp1;
+  int m = 0;
+  double p_left = 0.5;
+  int think_work = 0;
+  int eat_work = 0;
+};
+
+struct WorkerOutput {
+  std::uint64_t meals = 0;
+  std::vector<std::uint64_t> hunger_ns;  // capped sample of hunger latencies
+};
+
+constexpr std::size_t kMaxLatencySamples = 200'000;
+
+class Worker {
+ public:
+  Worker(Shared& shared, PhilId id, std::uint64_t seed, WorkerOutput& out)
+      : s_(shared),
+        id_(id),
+        rng_(seed),
+        out_(out),
+        left_(shared.topology.left_of(id)),
+        right_(shared.topology.right_of(id)),
+        slot_left_(shared.topology.slot_at(id, Side::kLeft)),
+        slot_right_(shared.topology.slot_at(id, Side::kRight)) {}
+
+  void run() {
+    while (!s_.stop.load(std::memory_order_relaxed)) {
+      busy_work(s_.think_work);  // think
+      const auto hungry_at = std::chrono::steady_clock::now();
+
+      if (s_.kind == Kind::kTicket && !acquire_ticket()) break;
+      if (uses_books(s_.kind)) {
+        s_.books[static_cast<std::size_t>(left_)]->insert_request(slot_left_);
+        s_.books[static_cast<std::size_t>(right_)]->insert_request(slot_right_);
+      }
+
+      if (!acquire_both()) {  // false only on stop
+        cleanup_requests();
+        break;
+      }
+
+      // --- eating: canary checks mutual exclusion on both forks.
+      enter_canary(left_);
+      enter_canary(right_);
+      record_hunger(hungry_at);
+      busy_work(s_.eat_work);
+      exit_canary(right_);
+      exit_canary(left_);
+
+      if (uses_books(s_.kind)) {
+        s_.books[static_cast<std::size_t>(left_)]->remove_request(slot_left_);
+        s_.books[static_cast<std::size_t>(right_)]->remove_request(slot_right_);
+        s_.books[static_cast<std::size_t>(left_)]->mark_used(slot_left_);
+        s_.books[static_cast<std::size_t>(right_)]->mark_used(slot_right_);
+      }
+      s_.forks[static_cast<std::size_t>(left_)].release(id_);
+      s_.forks[static_cast<std::size_t>(right_)].release(id_);
+      if (s_.kind == Kind::kTicket) s_.tickets.fetch_add(1, std::memory_order_release);
+
+      ++out_.meals;
+      const std::uint64_t total = s_.meals.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (s_.target_meals != 0 && total >= s_.target_meals) {
+        s_.stop.store(true, std::memory_order_relaxed);
+      }
+    }
+    cleanup_requests();
+  }
+
+ private:
+  AtomicFork& fork(ForkId f) { return s_.forks[static_cast<std::size_t>(f)]; }
+  ForkBooks& books(ForkId f) { return *s_.books[static_cast<std::size_t>(f)]; }
+  int slot_of(ForkId f) const { return f == left_ ? slot_left_ : slot_right_; }
+
+  bool stopped() const { return s_.stop.load(std::memory_order_relaxed); }
+
+  Side choose_first() {
+    switch (s_.kind) {
+      case Kind::kLr1:
+      case Kind::kLr2:
+        return rng_.choose_side(s_.p_left);
+      case Kind::kGdp1:
+      case Kind::kGdp2:
+      case Kind::kGdp2c:
+        // Table 3 step 2: higher nr first, ties to the right.
+        return fork(left_).nr() > fork(right_).nr() ? Side::kLeft : Side::kRight;
+      case Kind::kOrdered:
+        return left_ > right_ ? Side::kLeft : Side::kRight;
+      case Kind::kTicket:
+        return Side::kLeft;
+    }
+    return Side::kLeft;
+  }
+
+  /// Spin until the first fork is taken (test-and-set; LR2/GDP2 add Cond).
+  bool take_first(ForkId f) {
+    const bool courteous = uses_books(s_.kind);
+    for (std::uint32_t spins = 0;; ++spins) {
+      if (stopped()) return false;
+      if (fork(f).is_free() && (!courteous || books(f).cond_holds(slot_of(f))) &&
+          fork(f).try_take(id_)) {
+        return true;
+      }
+      if ((spins & 0x3ff) == 0x3ff) std::this_thread::yield();
+      cpu_relax();
+    }
+  }
+
+  /// Single attempt on the second fork, per the release-and-retry scheme.
+  bool try_second(ForkId g) {
+    if (s_.kind == Kind::kGdp2c && !books(g).cond_holds(slot_of(g))) return false;
+    return fork(g).try_take(id_);
+  }
+
+  /// Hold-and-wait spin for the ordered/ticket baselines.
+  bool wait_second(ForkId g) {
+    for (std::uint32_t spins = 0;; ++spins) {
+      if (stopped()) return false;
+      if (fork(g).try_take(id_)) return true;
+      if ((spins & 0x3ff) == 0x3ff) std::this_thread::yield();
+      cpu_relax();
+    }
+  }
+
+  bool acquire_both() {
+    while (true) {
+      if (stopped()) return false;
+      const Side side = choose_first();
+      const ForkId f = side == Side::kLeft ? left_ : right_;
+      const ForkId g = side == Side::kLeft ? right_ : left_;
+      if (!take_first(f)) return false;
+
+      if (is_gdp(s_.kind) && fork(f).nr() == fork(g).nr()) {
+        fork(f).set_nr(id_, static_cast<std::uint16_t>(rng_.uniform_int(1, s_.m)));
+      }
+
+      if (s_.kind == Kind::kOrdered || s_.kind == Kind::kTicket) {
+        if (!wait_second(g)) {
+          fork(f).release(id_);
+          return false;
+        }
+        return true;
+      }
+      if (try_second(g)) return true;
+      fork(f).release(id_);  // release and re-choose (goto 2/3)
+      cpu_relax();
+    }
+  }
+
+  bool acquire_ticket() {
+    while (true) {
+      if (stopped()) return false;
+      std::int32_t available = s_.tickets.load(std::memory_order_acquire);
+      while (available > 0) {
+        if (s_.tickets.compare_exchange_weak(available, available - 1,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed)) {
+          return true;
+        }
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  void enter_canary(ForkId f) {
+    const int users = s_.eaters_canary[static_cast<std::size_t>(f)].fetch_add(
+                          1, std::memory_order_acq_rel) +
+                      1;
+    if (users != 1 || fork(f).holder() != id_) {
+      s_.violations.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void exit_canary(ForkId f) {
+    s_.eaters_canary[static_cast<std::size_t>(f)].fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  void record_hunger(std::chrono::steady_clock::time_point hungry_at) {
+    if (out_.hunger_ns.size() >= kMaxLatencySamples) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - hungry_at)
+                        .count();
+    out_.hunger_ns.push_back(static_cast<std::uint64_t>(ns));
+  }
+
+  void cleanup_requests() {
+    if (!uses_books(s_.kind)) return;
+    books(left_).remove_request(slot_left_);
+    books(right_).remove_request(slot_right_);
+  }
+
+  Shared& s_;
+  const PhilId id_;
+  rng::Rng rng_;
+  WorkerOutput& out_;
+  const ForkId left_, right_;
+  const int slot_left_, slot_right_;
+};
+
+double quantile_ns(std::vector<std::uint64_t>& all, double q) {
+  if (all.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(all.size() - 1));
+  std::nth_element(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(idx), all.end());
+  return static_cast<double>(all[idx]);
+}
+
+}  // namespace
+
+bool RuntimeResult::everyone_ate() const {
+  return std::all_of(meals_of.begin(), meals_of.end(), [](std::uint64_t m) { return m > 0; });
+}
+
+std::vector<std::string> runtime_algorithms() {
+  return {"lr1", "lr2", "gdp1", "gdp2", "gdp2c", "ordered", "ticket"};
+}
+
+RuntimeResult run_threads(const graph::Topology& t, const RuntimeConfig& config) {
+  GDP_CHECK_MSG(config.duration.count() > 0 || config.target_meals > 0,
+                "run_threads needs a duration or a meal target");
+
+  Shared shared(t);
+  shared.kind = parse_kind(config.algorithm);
+  shared.m = config.m != 0 ? config.m : t.num_forks();
+  GDP_CHECK_MSG(shared.m >= t.num_forks(), "GDP requires m >= k");
+  shared.p_left = config.p_left;
+  shared.think_work = config.think_work;
+  shared.eat_work = config.eat_work;
+  shared.target_meals = config.target_meals;
+  shared.tickets.store(t.num_phils() - 1);
+
+  for (ForkId f = 0; f < t.num_forks(); ++f) {
+    shared.forks.emplace_back();
+    shared.eaters_canary.emplace_back(0);
+    shared.books.push_back(uses_books(shared.kind)
+                               ? std::make_unique<ForkBooks>(t.degree(f))
+                               : nullptr);
+    if (uses_books(shared.kind)) {
+      GDP_CHECK_MSG(t.degree(f) <= 64, "book-keeping runtime needs fork degree <= 64");
+    }
+  }
+
+  std::vector<WorkerOutput> outputs(static_cast<std::size_t>(t.num_phils()));
+  rng::Rng seeder(config.seed);
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(t.num_phils()));
+    for (PhilId p = 0; p < t.num_phils(); ++p) {
+      const std::uint64_t seed = seeder.split(static_cast<std::uint64_t>(p)).next_u64();
+      threads.emplace_back([&shared, p, seed, &outputs] {
+        Worker worker(shared, p, seed, outputs[static_cast<std::size_t>(p)]);
+        worker.run();
+      });
+    }
+    if (config.duration.count() > 0) {
+      const auto deadline = start + config.duration;
+      while (!shared.stop.load(std::memory_order_relaxed) &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      shared.stop.store(true, std::memory_order_relaxed);
+    }
+    // jthreads join here; meal-target runs stop themselves.
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  RuntimeResult result;
+  result.meals_of.reserve(outputs.size());
+  std::vector<std::uint64_t> all_latencies;
+  for (const WorkerOutput& out : outputs) {
+    result.meals_of.push_back(out.meals);
+    result.total_meals += out.meals;
+    all_latencies.insert(all_latencies.end(), out.hunger_ns.begin(), out.hunger_ns.end());
+  }
+  result.elapsed_seconds = std::chrono::duration<double>(end - start).count();
+  result.meals_per_second =
+      result.elapsed_seconds > 0 ? static_cast<double>(result.total_meals) / result.elapsed_seconds
+                                 : 0.0;
+  result.hunger_p50_ns = quantile_ns(all_latencies, 0.50);
+  result.hunger_p99_ns = quantile_ns(all_latencies, 0.99);
+  if (!all_latencies.empty()) {
+    result.hunger_max_ns =
+        static_cast<double>(*std::max_element(all_latencies.begin(), all_latencies.end()));
+  }
+  result.exclusion_violations = shared.violations.load();
+  return result;
+}
+
+}  // namespace gdp::runtime

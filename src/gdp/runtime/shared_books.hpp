@@ -1,0 +1,60 @@
+// The request list r and guest book g of LR2/GDP2 (§3.2) as a small
+// monitor: one mutex per fork guarding the per-sharer request bits and
+// last-use stamps. Cond(fork) is evaluated under the same lock the inserts
+// take, so the courtesy test reads a consistent snapshot (the paper assumes
+// fork operations are atomic; footnote 3 stores the distinction between
+// sharers inside the fork, exactly as the slot indexing does here).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "gdp/common/ids.hpp"
+
+namespace gdp::runtime {
+
+class ForkBooks {
+ public:
+  explicit ForkBooks(int degree)
+      : last_use_(static_cast<std::size_t>(degree), 0) {}
+  ForkBooks(const ForkBooks&) = delete;
+  ForkBooks& operator=(const ForkBooks&) = delete;
+
+  void insert_request(int slot) {
+    std::scoped_lock lock(mu_);
+    requests_ |= (std::uint64_t{1} << slot);
+  }
+
+  void remove_request(int slot) {
+    std::scoped_lock lock(mu_);
+    requests_ &= ~(std::uint64_t{1} << slot);
+  }
+
+  /// Signs the guest book: `slot` becomes the most recent user.
+  void mark_used(int slot) {
+    std::scoped_lock lock(mu_);
+    last_use_[static_cast<std::size_t>(slot)] = ++clock_;
+  }
+
+  /// Cond(fork) for `slot`: every *other* requester has used the fork no
+  /// earlier than `slot` did (never-used counts as earliest).
+  bool cond_holds(int slot) const {
+    std::scoped_lock lock(mu_);
+    const std::uint64_t mine = last_use_[static_cast<std::size_t>(slot)];
+    for (std::size_t s = 0; s < last_use_.size(); ++s) {
+      if (static_cast<int>(s) == slot) continue;
+      if (!((requests_ >> s) & 1u)) continue;
+      if (last_use_[s] < mine) return false;
+    }
+    return true;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t requests_ = 0;
+  std::vector<std::uint64_t> last_use_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace gdp::runtime

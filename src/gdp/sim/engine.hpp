@@ -1,0 +1,91 @@
+// The interleaving simulator: adversary picks a philosopher, the algorithm
+// yields the probabilistic branches of that philosopher's atomic step, the
+// engine samples one — the operational semantics of the paper's
+// probabilistic-automaton model (§2).
+//
+// The engine also measures everything the experiments need: meals (global
+// and per philosopher), time-to-first-eat, hunger spans (lockout metrics),
+// scheduling gaps (fairness), and it detects true deadlocks (every
+// philosopher's next step is a pure busy-wait self-loop — possible only for
+// the hold-and-wait baselines).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gdp/algos/algorithm.hpp"
+#include "gdp/graph/topology.hpp"
+#include "gdp/rng/rng.hpp"
+#include "gdp/sim/scheduler.hpp"
+#include "gdp/sim/state.hpp"
+#include "gdp/sim/step.hpp"
+
+namespace gdp::sim {
+
+inline constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+struct EngineConfig {
+  /// Hard step bound for the run.
+  std::uint64_t max_steps = 1'000'000;
+  /// Stop once this many meals completed (0 = don't stop on meals).
+  std::uint64_t stop_after_meals = 0;
+  /// Stop once every philosopher has eaten at least once.
+  bool stop_when_all_ate = false;
+  /// Record the event trace (step, philosopher, event).
+  bool record_trace = false;
+  /// Validate structural invariants after every step (tests; slow).
+  bool check_invariants = false;
+};
+
+struct TraceEntry {
+  std::uint64_t step = 0;
+  PhilId phil = kNoPhil;
+  StepEvent event;
+};
+
+struct RunResult {
+  std::uint64_t steps = 0;
+
+  /// A "meal" is counted when a philosopher takes its second fork.
+  std::uint64_t total_meals = 0;
+  std::vector<std::uint64_t> meals_of;
+
+  /// Step index of the first meal overall / per philosopher (kNever if none).
+  std::uint64_t first_meal_step = kNever;
+  std::vector<std::uint64_t> first_meal_of;
+
+  /// Longest hungry span (steps between starting to try and taking the
+  /// second fork), per philosopher; an unfinished hunger at run end counts.
+  std::vector<std::uint64_t> max_hunger_of;
+
+  /// Largest gap between consecutive steps of the same philosopher
+  /// (a bounded gap certifies the executed prefix was fair).
+  std::uint64_t max_sched_gap = 0;
+
+  /// True if the run ended in a state where every philosopher's step is a
+  /// no-op self-loop (circular hold-and-wait).
+  bool deadlocked = false;
+
+  /// Empty if invariants held (when check_invariants was on).
+  std::string invariant_violation;
+
+  SimState final_state;
+  std::vector<TraceEntry> trace;
+
+  std::uint64_t max_hunger() const;
+  bool everyone_ate() const;
+  bool progressed() const { return total_meals > 0; }
+};
+
+/// Runs `algo` on `t` under `sched`, sampling with `rng`. The same seed,
+/// scheduler and config reproduce the identical run.
+RunResult run(const algos::Algorithm& algo, const graph::Topology& t, Scheduler& sched,
+              rng::RandomSource& rng, const EngineConfig& config);
+
+/// Single-step helper shared with the replayer: samples one branch of
+/// `p`'s step distribution using `rng`.
+const Branch& sample_branch(const std::vector<Branch>& branches, rng::RandomSource& rng);
+
+}  // namespace gdp::sim

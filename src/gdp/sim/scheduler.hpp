@@ -1,0 +1,50 @@
+// The adversary (scheduler) interface of §2: controls the interleaving, has
+// complete information of the past, cannot control random outcomes.
+//
+// Concrete adversaries live in gdp/sim/schedulers/ — fair ones (round-robin,
+// uniform random, longest-waiting) and the paper's malicious constructions
+// against LR1 (§3 / Theorem 1) and LR2 (Theorem 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gdp/common/ids.hpp"
+#include "gdp/graph/topology.hpp"
+#include "gdp/rng/rng.hpp"
+#include "gdp/sim/state.hpp"
+#include "gdp/sim/step.hpp"
+
+namespace gdp::sim {
+
+/// Run statistics visible to the adversary ("complete information of the
+/// past" in aggregate form; trap schedulers additionally remember what they
+/// observed through observe()).
+struct RunView {
+  std::uint64_t step_index = 0;
+  std::uint64_t total_meals = 0;
+  /// Per philosopher: number of steps taken, and the index of the last step.
+  const std::vector<std::uint64_t>* steps_of = nullptr;
+  const std::vector<std::uint64_t>* last_scheduled = nullptr;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before a run.
+  virtual void reset(const graph::Topology& /*t*/) {}
+
+  /// Chooses the philosopher to execute the next atomic step.
+  virtual PhilId pick(const graph::Topology& t, const SimState& state, const RunView& view,
+                      rng::RandomSource& rng) = 0;
+
+  /// Observation hook: the sampled outcome of the step just executed.
+  virtual void observe(const graph::Topology& /*t*/, const SimState& /*next*/, PhilId /*p*/,
+                       const StepEvent& /*event*/) {}
+};
+
+}  // namespace gdp::sim

@@ -1,0 +1,38 @@
+#include "gdp/sim/schedulers/basic.hpp"
+
+#include "gdp/sim/engine.hpp"
+
+namespace gdp::sim {
+
+void RoundRobin::reset(const graph::Topology& /*t*/) { next_ = 0; }
+
+PhilId RoundRobin::pick(const graph::Topology& t, const SimState& /*state*/,
+                        const RunView& /*view*/, rng::RandomSource& /*rng*/) {
+  const PhilId p = next_;
+  next_ = (next_ + 1) % t.num_phils();
+  return p;
+}
+
+PhilId RandomUniform::pick(const graph::Topology& t, const SimState& /*state*/,
+                           const RunView& /*view*/, rng::RandomSource& rng) {
+  return rng.uniform_int(0, t.num_phils() - 1);
+}
+
+PhilId LongestWaiting::pick(const graph::Topology& t, const SimState& /*state*/,
+                            const RunView& view, rng::RandomSource& /*rng*/) {
+  PhilId best = 0;
+  std::uint64_t best_key = kNever;
+  for (PhilId p = 0; p < t.num_phils(); ++p) {
+    const std::uint64_t steps = (*view.steps_of)[static_cast<std::size_t>(p)];
+    // Never-scheduled philosophers first (in id order), then oldest step.
+    const std::uint64_t key =
+        steps == 0 ? 0 : (*view.last_scheduled)[static_cast<std::size_t>(p)] + 1;
+    if (key < best_key) {
+      best_key = key;
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace gdp::sim

@@ -1,0 +1,40 @@
+// Fair schedulers: round-robin, uniform random, longest-waiting.
+//
+// Round-robin and longest-waiting are fair with gap bound n; the uniform
+// random scheduler is fair with probability 1 (every philosopher is chosen
+// infinitely often almost surely) — the standard benign adversaries the
+// positive experiments run under.
+#pragma once
+
+#include "gdp/sim/scheduler.hpp"
+
+namespace gdp::sim {
+
+class RoundRobin final : public Scheduler {
+ public:
+  std::string name() const override { return "round-robin"; }
+  void reset(const graph::Topology& t) override;
+  PhilId pick(const graph::Topology& t, const SimState& state, const RunView& view,
+              rng::RandomSource& rng) override;
+
+ private:
+  PhilId next_ = 0;
+};
+
+class RandomUniform final : public Scheduler {
+ public:
+  std::string name() const override { return "uniform"; }
+  PhilId pick(const graph::Topology& t, const SimState& state, const RunView& view,
+              rng::RandomSource& rng) override;
+};
+
+/// Always schedules the philosopher whose last step is oldest — the
+/// maximally fair adversary (gap exactly n once warmed up).
+class LongestWaiting final : public Scheduler {
+ public:
+  std::string name() const override { return "longest-waiting"; }
+  PhilId pick(const graph::Topology& t, const SimState& state, const RunView& view,
+              rng::RandomSource& rng) override;
+};
+
+}  // namespace gdp::sim

@@ -1,0 +1,269 @@
+#include "gdp/sim/schedulers/trap_fig1a.hpp"
+
+#include <limits>
+
+#include "gdp/common/check.hpp"
+
+namespace gdp::sim {
+namespace {
+
+/// Longest-waiting pick, used by the fallback mode.
+PhilId fair_pick(const graph::Topology& t, const RunView& view) {
+  PhilId best = 0;
+  std::uint64_t best_key = std::numeric_limits<std::uint64_t>::max();
+  for (PhilId p = 0; p < t.num_phils(); ++p) {
+    const auto idx = static_cast<std::size_t>(p);
+    const std::uint64_t key =
+        (*view.steps_of)[idx] == 0 ? 0 : (*view.last_scheduled)[idx] + 1;
+    if (key < best_key) {
+      best_key = key;
+      best = p;
+    }
+  }
+  return best;
+}
+
+bool is_fig1a(const graph::Topology& t) {
+  if (t.num_forks() != 3 || t.num_phils() != 6) return false;
+  for (PhilId p = 0; p < 3; ++p) {
+    const auto& first = t.arc(p);
+    const auto& second = t.arc(p + 3);
+    if (!(first == second)) return false;
+    if (first.left != p || first.right != (p + 1) % 3) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void TrapFig1a::reset(const graph::Topology& t) {
+  GDP_CHECK_MSG(is_fig1a(t), "TrapFig1a requires the fig1a() topology, got " << t.name());
+  mode_ = Mode::kWake;
+  a_ = b_ = c_ = kNoFork;
+  A_ = B_ = C_ = A2_ = B2_ = C2_ = kNoPhil;
+  cycle_pc_ = 0;
+  loop_armed_ = false;
+  draws_left_ = 0;
+  rounds_ = 0;
+}
+
+void TrapFig1a::fail() { mode_ = Mode::kFallback; }
+
+PhilId TrapFig1a::pair_base(ForkId x, ForkId y) {
+  // fig1a arcs: P0/P3 = {0,1}, P1/P4 = {1,2}, P2/P5 = {2,0}.
+  if ((x == 0 && y == 1) || (x == 1 && y == 0)) return 0;
+  if ((x == 1 && y == 2) || (x == 2 && y == 1)) return 1;
+  return 2;
+}
+
+PhilId TrapFig1a::drive_to_commit(const graph::Topology& t, const SimState& state, PhilId who,
+                                  ForkId target) {
+  const PhilState& ps = state.phil(who);
+  switch (ps.phase) {
+    case Phase::kChoose:
+      if (draws_left_ <= 0) {
+        fail();
+        return kNoPhil;
+      }
+      --draws_left_;
+      return who;  // draw
+    case Phase::kCommit: {
+      const ForkId committed = t.fork_of(who, ps.committed);
+      if (committed == target) return kNoPhil;  // loop done
+      // Wrong fork: recycle — it must be free for `who` to take and then
+      // bounce off the (held) target.
+      if (!state.fork(committed).free()) {
+        fail();  // parked on a third fork: cannot recycle without risk
+        return kNoPhil;
+      }
+      return who;  // takes the wrong fork
+    }
+    case Phase::kTrySecond: {
+      const ForkId held = t.fork_of(who, ps.committed);
+      const ForkId second = t.other_fork(who, held);
+      if (state.fork(second).free()) {
+        fail();  // scheduling would complete a meal — abort instead
+        return kNoPhil;
+      }
+      return who;  // fails and releases: back to kChoose
+    }
+    default:
+      fail();
+      return kNoPhil;
+  }
+}
+
+PhilId TrapFig1a::pick(const graph::Topology& t, const SimState& state, const RunView& view,
+                       rng::RandomSource& /*rng*/) {
+  // Each iteration either returns a philosopher to schedule or advances the
+  // mode machine; bounded by a few transitions per call.
+  for (int guard = 0; guard < 64; ++guard) {
+    switch (mode_) {
+      case Mode::kWake: {
+        for (PhilId p = 0; p < t.num_phils(); ++p) {
+          const Phase phase = state.phil(p).phase;
+          if (phase == Phase::kThinking || phase == Phase::kRegister) return p;
+        }
+        mode_ = Mode::kSetupA;
+        break;
+      }
+
+      case Mode::kSetupA: {
+        // A candidate is P2 = {f2, f0}; its first draw orients the trap.
+        const PhilId cand = 2;
+        const PhilState& ps = state.phil(cand);
+        if (ps.phase == Phase::kChoose) return cand;  // free draw
+        if (ps.phase == Phase::kCommit) {
+          if (a_ == kNoFork) {
+            a_ = t.fork_of(cand, ps.committed);
+            c_ = t.other_fork(cand, a_);
+            b_ = 3 - a_ - c_;
+          }
+          return cand;  // takes a
+        }
+        if (ps.phase == Phase::kTrySecond) {
+          A_ = cand;
+          A2_ = cand + 3;
+          mode_ = Mode::kSetupB1;
+          break;
+        }
+        fail();
+        break;
+      }
+
+      case Mode::kSetupB1: {
+        const PhilId cand = pair_base(a_, b_);
+        const PhilState& ps = state.phil(cand);
+        if (ps.phase == Phase::kChoose) return cand;
+        if (ps.phase == Phase::kCommit) {
+          if (t.fork_of(cand, ps.committed) == b_) {
+            B_ = cand;
+            B2_ = cand + 3;
+            mode_ = Mode::kSetupC1;
+          } else {
+            B2_ = cand;  // committed to a (held): already in the B2 role
+            mode_ = Mode::kSetupB2;
+          }
+          break;
+        }
+        fail();
+        break;
+      }
+
+      case Mode::kSetupB2: {
+        const PhilId cand = pair_base(a_, b_) + 3;
+        const PhilState& ps = state.phil(cand);
+        if (ps.phase == Phase::kChoose) return cand;
+        if (ps.phase == Phase::kCommit) {
+          if (t.fork_of(cand, ps.committed) == b_) {
+            B_ = cand;
+            mode_ = Mode::kSetupC1;
+          } else {
+            fail();  // both {a,b}-philosophers committed to a
+          }
+          break;
+        }
+        fail();
+        break;
+      }
+
+      case Mode::kSetupC1: {
+        const PhilId cand = pair_base(b_, c_);
+        const PhilState& ps = state.phil(cand);
+        if (ps.phase == Phase::kChoose) return cand;
+        if (ps.phase == Phase::kCommit) {
+          if (t.fork_of(cand, ps.committed) == c_) {
+            C_ = cand;
+            C2_ = cand + 3;
+            mode_ = Mode::kCycle;
+          } else {
+            C2_ = cand;  // committed to b: the C2 end-state already
+            mode_ = Mode::kSetupC2;
+          }
+          break;
+        }
+        fail();
+        break;
+      }
+
+      case Mode::kSetupC2: {
+        const PhilId cand = pair_base(b_, c_) + 3;
+        const PhilState& ps = state.phil(cand);
+        if (ps.phase == Phase::kChoose) return cand;
+        if (ps.phase == Phase::kCommit) {
+          if (t.fork_of(cand, ps.committed) == c_) {
+            C_ = cand;
+            mode_ = Mode::kCycle;
+          } else {
+            fail();  // both {b,c}-philosophers committed to b
+          }
+          break;
+        }
+        fail();
+        break;
+      }
+
+      case Mode::kCycle: {
+        auto stubborn = [&](PhilId who, ForkId target) -> PhilId {
+          if (!loop_armed_) {
+            loop_armed_ = true;
+            draws_left_ = config_.stubborn_base +
+                          config_.stubborn_inc * static_cast<int>(rounds_);
+          }
+          const PhilId next = drive_to_commit(t, state, who, target);
+          if (next == kNoPhil && mode_ == Mode::kCycle) {
+            loop_armed_ = false;
+            ++cycle_pc_;
+          }
+          return next;
+        };
+        auto expect_then_advance = [&](PhilId who, Phase before) -> PhilId {
+          if (state.phil(who).phase == before) return who;
+          ++cycle_pc_;
+          return kNoPhil;
+        };
+
+        PhilId next = kNoPhil;
+        switch (cycle_pc_) {
+          case 0: next = stubborn(B2_, a_); break;
+          case 1: next = expect_then_advance(B_, Phase::kCommit); break;     // B takes b
+          case 2: next = stubborn(C2_, b_); break;
+          case 3: next = expect_then_advance(C_, Phase::kCommit); break;     // C takes c
+          case 4: next = expect_then_advance(A_, Phase::kTrySecond); break;  // A releases a
+          case 5: next = stubborn(A2_, c_); break;
+          case 6: next = expect_then_advance(C_, Phase::kTrySecond); break;  // C releases c
+          case 7: next = expect_then_advance(B2_, Phase::kCommit); break;    // B2 takes a
+          case 8: next = expect_then_advance(B_, Phase::kTrySecond); break;  // B releases b
+          default: {
+            // Round complete: relabel forks (a, c, b) and rotate roles to
+            // the partners; the old principals become the new partners.
+            const ForkId old_b = b_;
+            b_ = c_;
+            c_ = old_b;
+            const PhilId oldA = A_, oldB = B_, oldC = C_;
+            A_ = B2_;
+            B_ = A2_;
+            C_ = C2_;
+            A2_ = oldB;
+            B2_ = oldA;
+            C2_ = oldC;
+            cycle_pc_ = 0;
+            ++rounds_;
+            break;
+          }
+        }
+        if (mode_ != Mode::kCycle) break;   // a stubborn loop failed
+        if (next != kNoPhil) return next;
+        break;  // advanced pc (or rotated) without scheduling; loop again
+      }
+
+      case Mode::kFallback:
+        return fair_pick(t, view);
+    }
+  }
+  // Mode machine failed to settle: be safe and fair.
+  fail();
+  return fair_pick(t, view);
+}
+
+}  // namespace gdp::sim

@@ -1,0 +1,103 @@
+// TrapFig1a — the paper's §3 winning adversary against LR1 on the leftmost
+// system of Figure 1 (6 philosophers, 3 forks: a triangle of forks with
+// every arc doubled), executed exactly, including the fair "increasing
+// stubbornness" repair and the States 1-6 role rotation.
+//
+// Roles (our reconstruction of the paper's States 1-6, with forks a, b, c):
+//   A  = a {c,a}-philosopher holding fork a (filled arrow),
+//   B  = a {a,b}-philosopher committed to b (empty arrow),
+//   C  = a {b,c}-philosopher committed to c (empty arrow),
+//   A2/B2/C2 = their parallel partners.
+//
+// One round (paper States 1 -> 6):
+//   1. stubbornly redraw B2 until committed to a (held by A);
+//   2. B takes b;
+//   3. stubbornly redraw C2 until committed to b;
+//   4. C takes c;
+//   5. A fails on its second fork (c) and releases a;
+//   6. stubbornly redraw A2 until committed to c;
+//   7. C fails on its second fork (b) and releases c;
+//   8. B2 takes a;
+//   9. B fails on its second fork (a) and releases b.
+// The resulting state is isomorphic to State 1 under the fork relabeling
+// a'=a, b'=c, c'=b with roles (A,B,C) -> (B2,A2,C2): the adversary loops
+// forever and no philosopher ever eats.
+//
+// Because nobody eats, every guest book stays empty and Cond(fork) is
+// vacuous — the identical schedule defeats LR2 as well (the observation in
+// the paper's Theorem 2 proof); fig1a satisfies the Theorem 2 premise (its
+// fork pairs are joined by 4 edge-disjoint paths).
+//
+// Stubborn loops draw at most n_k times in round k (n_k = base + inc * k),
+// exactly the paper's fairness repair: the probability that every loop of
+// every round succeeds is >= prod_k (1 - p^{n_k}) > 0, and any failed run
+// falls back to a maximally fair scheduler (progress resumes), so the
+// adversary is fair in all cases. Setup succeeds with probability >= 1/4 —
+// the bound the paper derives for reaching a state isomorphic to State 1 on
+// the first attempt (the first draw is free by symmetry; the two remaining
+// role draws each succeed with probability 1/2, with one retry absorbed by
+// the partner).
+#pragma once
+
+#include "gdp/sim/scheduler.hpp"
+
+namespace gdp::sim {
+
+class TrapFig1a final : public Scheduler {
+ public:
+  struct Config {
+    /// Stubborn draws allowed in round 0 and per-round increment (n_k).
+    int stubborn_base = 16;
+    int stubborn_inc = 1;
+  };
+
+  TrapFig1a() : TrapFig1a(Config{}) {}
+  explicit TrapFig1a(Config config) : config_(config) {}
+
+  std::string name() const override { return "trap-fig1a"; }
+  void reset(const graph::Topology& t) override;
+  PhilId pick(const graph::Topology& t, const SimState& state, const RunView& view,
+              rng::RandomSource& rng) override;
+
+  /// True while the trap is live (setup + all stubborn loops succeeded so
+  /// far). Once false, the scheduler has become longest-waiting-fair.
+  bool trapped() const { return mode_ != Mode::kFallback; }
+
+  /// Completed rotation rounds (States 1 -> 6 cycles).
+  std::uint64_t rounds() const { return rounds_; }
+
+ private:
+  enum class Mode : std::uint8_t {
+    kWake,     // drive everyone out of think/register
+    kSetupA,   // A draws (free choice by symmetry) and takes fork a
+    kSetupB1,  // first {a,b}-philosopher draws
+    kSetupB2,  // partner draws if the first claimed the A2 role
+    kSetupC1,  // first {b,c}-philosopher draws
+    kSetupC2,  // partner draws if the first claimed the C2 role
+    kCycle,    // the 9-op rotation above
+    kFallback  // trial failed; maximally fair from here on
+  };
+
+  void fail();
+  /// The philosopher pair whose arc is {x, y}; returns the lower id.
+  static PhilId pair_base(ForkId x, ForkId y);
+  /// Stubborn-loop driver; returns the philosopher to schedule, or kNoPhil
+  /// when `who` is committed to `target` (loop done). Calls fail() when the
+  /// draw budget runs out or recycling would feed a meal.
+  PhilId drive_to_commit(const graph::Topology& t, const SimState& state, PhilId who,
+                         ForkId target);
+
+  Config config_;
+  Mode mode_ = Mode::kWake;
+
+  ForkId a_ = kNoFork, b_ = kNoFork, c_ = kNoFork;
+  PhilId A_ = kNoPhil, B_ = kNoPhil, C_ = kNoPhil;
+  PhilId A2_ = kNoPhil, B2_ = kNoPhil, C2_ = kNoPhil;
+
+  int cycle_pc_ = 0;
+  bool loop_armed_ = false;  // stubborn budget initialized for current op
+  int draws_left_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace gdp::sim

@@ -1,0 +1,23 @@
+#include "gdp/stats/ci.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gdp::stats {
+
+Interval wilson(std::uint64_t successes, std::uint64_t trials, double z) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin = (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {std::max(0.0, center - margin), std::min(1.0, center + margin)};
+}
+
+Interval normal(double mean, double sem, double z) {
+  return {mean - z * sem, mean + z * sem};
+}
+
+}  // namespace gdp::stats

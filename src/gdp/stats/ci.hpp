@@ -1,0 +1,24 @@
+// Confidence intervals for the Bernoulli estimates the negative experiments
+// report (e.g. "fraction of trials the adversary trapped LR1" vs the paper's
+// 1/4 lower bound).
+#pragma once
+
+#include <cstdint>
+
+namespace gdp::stats {
+
+struct Interval {
+  double low = 0.0;
+  double high = 0.0;
+
+  bool contains(double x) const { return low <= x && x <= high; }
+};
+
+/// Wilson score interval for `successes` out of `trials` at confidence given
+/// by the normal quantile `z` (1.96 = 95%, 2.58 = 99%).
+Interval wilson(std::uint64_t successes, std::uint64_t trials, double z = 1.96);
+
+/// Normal-approximation interval mean +- z * sem.
+Interval normal(double mean, double sem, double z = 1.96);
+
+}  // namespace gdp::stats

@@ -1,0 +1,41 @@
+#include "gdp/stats/csv.hpp"
+
+#include "gdp/common/check.hpp"
+#include "gdp/common/strings.hpp"
+
+namespace gdp::stats {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  return quoted + "\"";
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  GDP_CHECK_MSG(out_.good(), "cannot open CSV file '" << path << "'");
+  add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  GDP_CHECK_MSG(cells.size() == columns_,
+                "CSV row has " << cells.size() << " cells, expected " << columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<double>& values, int digits) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_double(v, digits));
+  add_row(cells);
+}
+
+}  // namespace gdp::stats

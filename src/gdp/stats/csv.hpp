@@ -1,0 +1,27 @@
+// Minimal CSV writer for exporting experiment series (reach curves, sweeps)
+// alongside the printed tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gdp::stats {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void add_row(const std::vector<double>& values, int digits = 6);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace gdp::stats

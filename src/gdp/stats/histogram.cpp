@@ -1,0 +1,63 @@
+#include "gdp/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gdp/common/check.hpp"
+#include "gdp/common/strings.hpp"
+
+namespace gdp::stats {
+
+Histogram::Histogram(double lo, double hi, int buckets) : lo_(lo), hi_(hi) {
+  GDP_CHECK_MSG(buckets >= 1, "histogram needs >= 1 bucket");
+  GDP_CHECK_MSG(hi > lo, "histogram range [" << lo << ", " << hi << ")");
+  bucket_width_ = (hi - lo) / buckets;
+  counts_.assign(static_cast<std::size_t>(buckets), 0);
+}
+
+void Histogram::add(double x) {
+  const int last = num_buckets() - 1;
+  int bucket = static_cast<int>(std::floor((x - lo_) / bucket_width_));
+  bucket = std::clamp(bucket, 0, last);
+  ++counts_[static_cast<std::size_t>(bucket)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(int i) const { return lo_ + i * bucket_width_; }
+double Histogram::bucket_hi(int i) const { return lo_ + (i + 1) * bucket_width_; }
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double seen = 0.0;
+  for (int i = 0; i < num_buckets(); ++i) {
+    const double c = static_cast<double>(counts_[static_cast<std::size_t>(i)]);
+    if (seen + c >= target && c > 0) {
+      const double frac = c == 0.0 ? 0.0 : (target - seen) / c;
+      return bucket_lo(i) + frac * bucket_width_;
+    }
+    seen += c;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(int width) const {
+  std::uint64_t peak = 0;
+  for (std::uint64_t c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+  std::string out;
+  for (int i = 0; i < num_buckets(); ++i) {
+    const std::uint64_t c = counts_[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    const int bar = static_cast<int>(static_cast<double>(c) / static_cast<double>(peak) * width);
+    out += pad("[" + format_double(bucket_lo(i), 1) + ", " + format_double(bucket_hi(i), 1) + ")",
+               -18);
+    out += ' ' + pad(std::to_string(c), -8) + ' ';
+    out += std::string(static_cast<std::size_t>(std::max(bar, 1)), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gdp::stats

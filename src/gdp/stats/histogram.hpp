@@ -1,0 +1,37 @@
+// Fixed-bucket histogram with quantile queries; used for hunger-span and
+// latency distributions in the lockout and thread-runtime experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gdp::stats {
+
+class Histogram {
+ public:
+  /// Buckets partition [lo, hi) evenly; samples outside clamp to the edge
+  /// buckets. `buckets >= 1`.
+  Histogram(double lo, double hi, int buckets);
+
+  void add(double x);
+  std::uint64_t count() const { return total_; }
+
+  /// q in [0, 1]; linear interpolation inside the bucket.
+  double quantile(double q) const;
+
+  double bucket_lo(int i) const;
+  double bucket_hi(int i) const;
+  std::uint64_t bucket_count(int i) const { return counts_[static_cast<std::size_t>(i)]; }
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+
+  /// Compact ASCII rendering (one line per non-empty bucket with a bar).
+  std::string render(int width = 40) const;
+
+ private:
+  double lo_, hi_, bucket_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace gdp::stats

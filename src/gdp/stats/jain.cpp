@@ -1,0 +1,18 @@
+#include "gdp/stats/jain.hpp"
+
+namespace gdp::stats {
+
+double jain_index(const std::vector<std::uint64_t>& shares) {
+  if (shares.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::uint64_t x : shares) {
+    const double v = static_cast<double>(x);
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+}  // namespace gdp::stats

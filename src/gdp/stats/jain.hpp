@@ -1,0 +1,14 @@
+// Jain's fairness index over per-philosopher meal counts: 1.0 = perfectly
+// even, 1/n = one philosopher got everything. The lockout experiments (E7)
+// report it alongside max-hunger.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gdp::stats {
+
+/// (sum x)^2 / (n * sum x^2); 1.0 for an empty or all-zero vector.
+double jain_index(const std::vector<std::uint64_t>& shares);
+
+}  // namespace gdp::stats

@@ -1,0 +1,29 @@
+#include "gdp/stats/online.hpp"
+
+#include <cmath>
+
+namespace gdp::stats {
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::sem() const {
+  return count_ == 0 ? 0.0 : stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ +
+         delta * delta * static_cast<double>(count_) * static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  count_ += other.count_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+}  // namespace gdp::stats

@@ -1,0 +1,44 @@
+// Streaming statistics (Welford) — means, variances, extremes of the
+// quantities the experiments sample (meals, hunger spans, steps-to-eat).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gdp::stats {
+
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance.
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const;
+  /// Standard error of the mean.
+  double sem() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace gdp::stats

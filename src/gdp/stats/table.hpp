@@ -1,0 +1,27 @@
+// Aligned ASCII tables — every bench prints its paper-expected vs measured
+// rows through this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gdp::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  std::string render() const;
+  /// render() to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = rule
+};
+
+}  // namespace gdp::stats

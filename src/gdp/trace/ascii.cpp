@@ -1,0 +1,56 @@
+#include "gdp/trace/ascii.hpp"
+
+#include <sstream>
+
+#include "gdp/common/strings.hpp"
+
+namespace gdp::trace {
+
+std::string render_state(const graph::Topology& t, const sim::SimState& state) {
+  std::ostringstream out;
+  for (ForkId f = 0; f < t.num_forks(); ++f) {
+    const auto& fork = state.fork(f);
+    out << "  " << pad(fork_name(f), 4);
+    if (fork.free()) {
+      out << "(free)      ";
+    } else {
+      out << "<==" << pad(phil_name(fork.holder), 5) << "    ";  // filled arrow: held
+    }
+    if (fork.nr != 0) out << "nr=" << fork.nr << "  ";
+    // Empty arrows: philosophers committed to f but not yet holding it.
+    std::vector<std::string> committed;
+    for (PhilId p : t.incident(f)) {
+      const auto& ps = state.phil(p);
+      if ((ps.phase == sim::Phase::kCommit) && t.fork_of(p, ps.committed) == f) {
+        committed.push_back(phil_name(p));
+      }
+    }
+    if (!committed.empty()) out << "<-- " << join(committed, ", ") << " (committed)";
+    out << '\n';
+  }
+  for (PhilId p = 0; p < t.num_phils(); ++p) {
+    const auto& ps = state.phil(p);
+    out << "  " << pad(phil_name(p), 4) << "{" << fork_name(t.left_of(p)) << ","
+        << fork_name(t.right_of(p)) << "}  " << sim::to_string(ps.phase);
+    if (ps.phase == sim::Phase::kCommit || ps.phase == sim::Phase::kRenumber ||
+        ps.phase == sim::Phase::kTrySecond) {
+      out << " -> " << fork_name(t.fork_of(p, ps.committed));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_trace(const graph::Topology& /*t*/, const std::vector<sim::TraceEntry>& trace,
+                         std::size_t max_entries) {
+  std::ostringstream out;
+  const std::size_t shown = std::min(trace.size(), max_entries);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& e = trace[i];
+    out << "  step " << e.step << ": " << phil_name(e.phil) << ' ' << e.event.to_string() << '\n';
+  }
+  if (shown < trace.size()) out << "  ... (" << trace.size() - shown << " more)\n";
+  return out.str();
+}
+
+}  // namespace gdp::trace

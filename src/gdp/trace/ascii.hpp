@@ -1,0 +1,21 @@
+// Textual rendering of configurations in the style of the paper's state
+// diagrams: a filled arrow is a held fork, an empty arrow a commitment.
+#pragma once
+
+#include <string>
+
+#include "gdp/graph/topology.hpp"
+#include "gdp/sim/engine.hpp"
+#include "gdp/sim/state.hpp"
+
+namespace gdp::trace {
+
+/// Multi-line diagram: one line per fork (holder, nr, pending commitments)
+/// and one line per philosopher (phase, arrows).
+std::string render_state(const graph::Topology& t, const sim::SimState& state);
+
+/// One line per trace entry: "step 12: P3 took-first f0".
+std::string render_trace(const graph::Topology& t, const std::vector<sim::TraceEntry>& trace,
+                         std::size_t max_entries = 200);
+
+}  // namespace gdp::trace

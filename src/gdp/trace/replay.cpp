@@ -1,0 +1,24 @@
+#include "gdp/trace/replay.hpp"
+
+#include "gdp/common/check.hpp"
+
+namespace gdp::trace {
+
+void ScriptScheduler::reset(const graph::Topology& /*t*/) {
+  cursor_ = 0;
+  round_robin_ = 0;
+}
+
+PhilId ScriptScheduler::pick(const graph::Topology& t, const sim::SimState& /*state*/,
+                             const sim::RunView& /*view*/, rng::RandomSource& /*rng*/) {
+  if (cursor_ < order_.size()) {
+    const PhilId p = order_[cursor_++];
+    GDP_CHECK_MSG(p >= 0 && p < t.num_phils(), "scripted schedule names philosopher " << p);
+    return p;
+  }
+  const PhilId p = round_robin_;
+  round_robin_ = (round_robin_ + 1) % t.num_phils();
+  return p;
+}
+
+}  // namespace gdp::trace

@@ -1,0 +1,32 @@
+// Deterministic replay: a scripted schedule plus scripted random outcomes
+// reproduces a chosen execution exactly — used to regenerate the paper's
+// figure executions (the §3 States 1-6 example) step for step.
+#pragma once
+
+#include <vector>
+
+#include "gdp/sim/scheduler.hpp"
+
+namespace gdp::trace {
+
+/// Plays back a fixed philosopher order; after the script is exhausted it
+/// degrades to round-robin (keeping any continued run fair).
+class ScriptScheduler final : public sim::Scheduler {
+ public:
+  explicit ScriptScheduler(std::vector<PhilId> order) : order_(std::move(order)) {}
+
+  std::string name() const override { return "script"; }
+  void reset(const graph::Topology& t) override;
+  PhilId pick(const graph::Topology& t, const sim::SimState& state, const sim::RunView& view,
+              rng::RandomSource& rng) override;
+
+  bool exhausted() const { return cursor_ >= order_.size(); }
+  std::size_t position() const { return cursor_; }
+
+ private:
+  std::vector<PhilId> order_;
+  std::size_t cursor_ = 0;
+  PhilId round_robin_ = 0;
+};
+
+}  // namespace gdp::trace

@@ -1,0 +1,136 @@
+// The §1 baselines: where they work, where the generalized setting breaks
+// them (experiment E9's backing tests).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gdp/algos/algorithm.hpp"
+#include "gdp/common/check.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/sim/engine.hpp"
+#include "gdp/sim/schedulers/basic.hpp"
+
+namespace gdp::algos {
+namespace {
+
+sim::RunResult fair_run(const std::string& name, const graph::Topology& t, std::uint64_t seed,
+                        std::uint64_t steps = 60'000) {
+  const auto algo = make_algorithm(name);
+  sim::LongestWaiting sched;
+  rng::Rng rng(seed);
+  sim::EngineConfig cfg;
+  cfg.max_steps = steps;
+  cfg.check_invariants = true;
+  return sim::run(*algo, t, sched, rng, cfg);
+}
+
+TEST(Ordered, ProgressesOnEveryTopology) {
+  for (const auto& t : {graph::classic_ring(5), graph::fig1a(), graph::parallel_arcs(4),
+                        graph::ring_with_chord(6), graph::star(6)}) {
+    const auto r = fair_run("ordered", t, 1);
+    EXPECT_FALSE(r.deadlocked) << t.name();
+    EXPECT_GT(r.total_meals, 0u) << t.name();
+    EXPECT_TRUE(r.invariant_violation.empty()) << r.invariant_violation;
+  }
+}
+
+TEST(Ordered, HoldsAndWaitsInsteadOfReleasing) {
+  // The ordered baseline never emits kFailedSecond (it waits).
+  const auto algo = make_algorithm("ordered");
+  const auto t = graph::fig1a();
+  sim::RandomUniform sched;
+  rng::Rng rng(3);
+  sim::EngineConfig cfg;
+  cfg.max_steps = 20'000;
+  cfg.record_trace = true;
+  const auto r = sim::run(*algo, t, sched, rng, cfg);
+  for (const auto& e : r.trace) {
+    EXPECT_NE(e.event.kind, sim::EventKind::kFailedSecond);
+  }
+}
+
+TEST(Colored, RequiresCanonicalEvenRing) {
+  const auto colored = make_algorithm("colored");
+  EXPECT_THROW(colored->initial_state(graph::classic_ring(5)), PreconditionError);  // odd
+  EXPECT_THROW(colored->initial_state(graph::fig1a()), PreconditionError);          // not a ring
+  EXPECT_NO_THROW(colored->initial_state(graph::classic_ring(6)));
+}
+
+TEST(Colored, AlternationPreventsDeadlockOnEvenRings) {
+  for (int n : {4, 6, 8, 10}) {
+    const auto r = fair_run("colored", graph::classic_ring(n), 17);
+    EXPECT_FALSE(r.deadlocked) << "ring(" << n << ")";
+    EXPECT_GT(r.total_meals, 0u);
+    EXPECT_TRUE(r.everyone_ate());
+  }
+}
+
+TEST(Arbiter, FifoReservationsAreLockoutFreeInPractice) {
+  const auto r = fair_run("arbiter", graph::fig1a(), 23, 80'000);
+  EXPECT_TRUE(r.everyone_ate());
+  EXPECT_TRUE(r.invariant_violation.empty()) << r.invariant_violation;
+  // FIFO reservations keep the meal spread tight.
+  const auto [lo, hi] = std::minmax_element(r.meals_of.begin(), r.meals_of.end());
+  EXPECT_LT(static_cast<double>(*hi), 3.0 * static_cast<double>(*lo + 1));
+}
+
+TEST(Ticket, SafeOnTheClassicRing) {
+  for (int n : {3, 5, 8}) {
+    const auto r = fair_run("ticket", graph::classic_ring(n), 7);
+    EXPECT_FALSE(r.deadlocked) << "ring(" << n << ")";
+    EXPECT_GT(r.total_meals, 0u);
+  }
+}
+
+TEST(Ticket, DeadlocksOnTheGeneralizedTriangle) {
+  // n-1 = 5 tickets cannot prevent the 3-philosopher circular wait on
+  // fig1a's doubled triangle; with enough runs the deadlock manifests.
+  bool deadlocked = false;
+  for (std::uint64_t seed = 0; seed < 30 && !deadlocked; ++seed) {
+    const auto algo = make_algorithm("ticket");
+    sim::RandomUniform sched;
+    rng::Rng rng(seed);
+    sim::EngineConfig cfg;
+    cfg.max_steps = 40'000;
+    const auto r = sim::run(*algo, graph::fig1a(), sched, rng, cfg);
+    deadlocked = r.deadlocked;
+  }
+  EXPECT_TRUE(deadlocked) << "ticket baseline should deadlock off the classic ring";
+}
+
+TEST(Ticket, DeadlockStateIsCircularWait) {
+  // When it deadlocks, every ticketed philosopher holds its left fork and
+  // waits for a right fork held by another ticketed philosopher.
+  sim::RunResult dead;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto algo = make_algorithm("ticket");
+    sim::RandomUniform sched;
+    rng::Rng rng(seed);
+    sim::EngineConfig cfg;
+    cfg.max_steps = 40'000;
+    dead = sim::run(*algo, graph::fig1a(), sched, rng, cfg);
+    if (dead.deadlocked) break;
+  }
+  ASSERT_TRUE(dead.deadlocked);
+  const auto& s = dead.final_state;
+  int holders = 0;
+  for (ForkId f = 0; f < 3; ++f) holders += !s.fork(f).free();
+  EXPECT_EQ(holders, 3);  // all three forks held, nobody can get a second
+}
+
+TEST(Baselines, OrderedMatchesGdp1PostConvergenceThroughput) {
+  // §4 reduces converged GDP1 to hierarchical allocation; their fair-run
+  // throughputs on a ring should be within 3x of each other.
+  const auto ring = graph::classic_ring(6);
+  const auto ordered = fair_run("ordered", ring, 5, 100'000);
+  const auto gdp1 = fair_run("gdp1", ring, 5, 100'000);
+  EXPECT_GT(ordered.total_meals, 0u);
+  EXPECT_GT(gdp1.total_meals, 0u);
+  const double ratio = static_cast<double>(ordered.total_meals) /
+                       static_cast<double>(std::max<std::uint64_t>(gdp1.total_meals, 1));
+  EXPECT_GT(ratio, 1.0 / 3.0);
+  EXPECT_LT(ratio, 3.0);
+}
+
+}  // namespace
+}  // namespace gdp::algos

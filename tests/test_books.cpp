@@ -1,0 +1,146 @@
+// LR2/GDP2 request-list and guest-book behaviour through whole runs, and
+// the machine-checked Table 4 erratum (gdp2 vs gdp2c).
+#include <gtest/gtest.h>
+
+#include "gdp/algos/algorithm.hpp"
+#include "gdp/common/check.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/sim/engine.hpp"
+#include "gdp/sim/schedulers/basic.hpp"
+
+namespace gdp::algos {
+namespace {
+
+using sim::EventKind;
+using sim::Phase;
+
+TEST(Requests, RegisteredWhileHungryClearedAfterEating) {
+  const auto lr2 = make_algorithm("lr2");
+  const auto t = graph::classic_ring(3);
+  auto s = lr2->initial_state(t);
+
+  // Wake P0 and register.
+  s = lr2->step(t, s, 0)[0].next;
+  EXPECT_EQ(s.phil(0).phase, Phase::kRegister);
+  s = lr2->step(t, s, 0)[0].next;
+  const int slot_left = t.slot_at(0, Side::kLeft);
+  const int slot_right = t.slot_at(0, Side::kRight);
+  EXPECT_TRUE(s.fork(t.left_of(0)).requested_by_slot(slot_left));
+  EXPECT_TRUE(s.fork(t.right_of(0)).requested_by_slot(slot_right));
+
+  // Drive P0 to a full meal: choose, take, take, finish.
+  for (int i = 0; i < 8 && s.phil(0).phase != Phase::kThinking; ++i) {
+    s = lr2->step(t, s, 0)[0].next;
+  }
+  EXPECT_EQ(s.phil(0).phase, Phase::kThinking);
+  EXPECT_FALSE(s.fork(t.left_of(0)).requested_by_slot(slot_left));
+  EXPECT_FALSE(s.fork(t.right_of(0)).requested_by_slot(slot_right));
+  // Guest books signed on both forks.
+  EXPECT_EQ(s.fork(t.left_of(0)).use_rank[static_cast<std::size_t>(slot_left)], 1);
+  EXPECT_EQ(s.fork(t.right_of(0)).use_rank[static_cast<std::size_t>(slot_right)], 1);
+}
+
+TEST(Courtesy, RepeatEaterYieldsToWaiter) {
+  // Two philosophers sharing both forks (parallel pair): after P0 eats once
+  // while P1 requests, P0's next first-fork take must be blocked by Cond
+  // until P1 has eaten.
+  const auto lr2 = make_algorithm("lr2");
+  const auto t = graph::parallel_arcs(2);
+  auto s = lr2->initial_state(t);
+
+  // Wake + register both.
+  for (PhilId p : {0, 1}) {
+    s = lr2->step(t, s, p)[0].next;
+    s = lr2->step(t, s, p)[0].next;
+  }
+  // P0 eats a full meal.
+  for (int i = 0; i < 8 && s.phil(0).phase != Phase::kThinking; ++i) {
+    s = lr2->step(t, s, 0)[0].next;
+  }
+  ASSERT_EQ(s.phil(0).phase, Phase::kThinking);
+
+  // P0 hungry again: wake, register, choose — then the take must busy-wait
+  // on Cond even though the fork is free (P1 still requesting, never ate).
+  s = lr2->step(t, s, 0)[0].next;  // -> register
+  s = lr2->step(t, s, 0)[0].next;  // -> choose
+  s = lr2->step(t, s, 0)[0].next;  // draw (first branch)
+  ASSERT_EQ(s.phil(0).phase, Phase::kCommit);
+  const auto blocked = lr2->step(t, s, 0);
+  ASSERT_EQ(blocked.size(), 1u);
+  EXPECT_EQ(blocked[0].event.kind, EventKind::kBlockedFirst);
+
+  // P1 can proceed: Cond holds for the never-fed philosopher.
+  // (its committed fork is free: both forks are free right now)
+  auto s1 = s;
+  s1 = lr2->step(t, s1, 1)[0].next;  // draw
+  const auto take = lr2->step(t, s1, 1);
+  EXPECT_EQ(take[0].event.kind, EventKind::kTookFirst);
+}
+
+TEST(Erratum, LiteralGdp2SecondTakeSkipsCond) {
+  // Construct the bypass directly: P1 ate (signed books), P0 is requesting
+  // and has never eaten. P1 re-acquires via first fork g (unshared path on
+  // a ring: g's Cond can hold) and then takes shared fork f as SECOND —
+  // the literal Table 4 allows it; the corrected gdp2c refuses.
+  const auto t = graph::classic_ring(3);  // P1 = {f1, f2}; shares f1 with P0
+  for (const char* name : {"gdp2", "gdp2c"}) {
+    const auto algo = make_algorithm(name);
+    auto s = algo->initial_state(t);
+    // Books: P1 has used f1, P0 never; P0 requests f1.
+    sim::mark_used(s, t, 1, 1);
+    s.fork(1).requests |= (std::uint64_t{1} << t.slot_of(1, 0));
+    // P1 holds f2 (its first fork) and is about to try f1 as second.
+    s.fork(2).holder = 1;
+    s.phil(1).phase = Phase::kTrySecond;
+    s.phil(1).committed = t.side_of(1, 2);
+
+    const auto branches = algo->step(t, s, 1);
+    ASSERT_EQ(branches.size(), 1u);
+    if (std::string(name) == "gdp2") {
+      EXPECT_EQ(branches[0].event.kind, EventKind::kTookSecond)
+          << "literal Table 4 bypasses Cond on the second take";
+    } else {
+      EXPECT_EQ(branches[0].event.kind, EventKind::kFailedSecond)
+          << "gdp2c applies Cond to both takes";
+    }
+  }
+}
+
+TEST(Books, DegreeCapEnforced) {
+  const auto lr2 = make_algorithm("lr2");
+  EXPECT_THROW(lr2->initial_state(graph::star(65)), PreconditionError);
+  EXPECT_NO_THROW(lr2->initial_state(graph::star(64)));
+}
+
+TEST(Books, LongRunsKeepRanksValid) {
+  for (const char* name : {"lr2", "gdp2", "gdp2c"}) {
+    const auto algo = make_algorithm(name);
+    const auto t = graph::fig1a();
+    sim::RandomUniform sched;
+    rng::Rng rng(555);
+    sim::EngineConfig cfg;
+    cfg.max_steps = 40'000;
+    cfg.check_invariants = true;
+    const auto result = sim::run(*algo, t, sched, rng, cfg);
+    EXPECT_TRUE(result.invariant_violation.empty()) << name << ": " << result.invariant_violation;
+    EXPECT_GT(result.total_meals, 0u);
+  }
+}
+
+TEST(Books, CourtesyNarrowsMealGapOnRing) {
+  // Under fair random scheduling, gdp2c's courtesy should not *hurt* overall
+  // progress much while keeping every philosopher fed.
+  const auto t = graph::classic_ring(6);
+  for (const char* name : {"gdp1", "gdp2c"}) {
+    const auto algo = make_algorithm(name);
+    sim::RandomUniform sched;
+    rng::Rng rng(2024);
+    sim::EngineConfig cfg;
+    cfg.max_steps = 150'000;
+    const auto result = sim::run(*algo, t, sched, rng, cfg);
+    EXPECT_TRUE(result.everyone_ate()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace gdp::algos

@@ -1,0 +1,196 @@
+// Engine semantics: determinism, stop conditions, metrics, deadlock probe,
+// branch sampling.
+#include <gtest/gtest.h>
+
+#include "gdp/algos/algorithm.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/rng/scripted.hpp"
+#include "gdp/sim/engine.hpp"
+#include "gdp/sim/schedulers/basic.hpp"
+
+namespace gdp::sim {
+namespace {
+
+TEST(Engine, SameSeedSameRun) {
+  const auto algo = algos::make_algorithm("lr1");
+  const auto t = graph::fig1a();
+  auto run_once = [&](std::uint64_t seed) {
+    RandomUniform sched;
+    rng::Rng rng(seed);
+    EngineConfig cfg;
+    cfg.max_steps = 20'000;
+    cfg.record_trace = true;
+    return run(*algo, t, sched, rng, cfg);
+  };
+  const auto a = run_once(42);
+  const auto b = run_once(42);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  EXPECT_EQ(a.total_meals, b.total_meals);
+  EXPECT_TRUE(a.final_state == b.final_state);
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    ASSERT_EQ(a.trace[i].phil, b.trace[i].phil);
+    ASSERT_EQ(a.trace[i].event.kind, b.trace[i].event.kind);
+  }
+  const auto c = run_once(43);
+  EXPECT_FALSE(a.final_state == c.final_state);  // overwhelmingly likely
+}
+
+TEST(Engine, StopAfterMeals) {
+  const auto algo = algos::make_algorithm("gdp1");
+  const auto t = graph::classic_ring(5);
+  RandomUniform sched;
+  rng::Rng rng(1);
+  EngineConfig cfg;
+  cfg.max_steps = 1'000'000;
+  cfg.stop_after_meals = 10;
+  const auto r = run(*algo, t, sched, rng, cfg);
+  EXPECT_EQ(r.total_meals, 10u);
+  EXPECT_LT(r.steps, cfg.max_steps);
+}
+
+TEST(Engine, StopWhenAllAte) {
+  const auto algo = algos::make_algorithm("gdp2c");
+  const auto t = graph::classic_ring(4);
+  RandomUniform sched;
+  rng::Rng rng(2);
+  EngineConfig cfg;
+  cfg.max_steps = 1'000'000;
+  cfg.stop_when_all_ate = true;
+  const auto r = run(*algo, t, sched, rng, cfg);
+  EXPECT_TRUE(r.everyone_ate());
+  EXPECT_LT(r.steps, cfg.max_steps);
+}
+
+TEST(Engine, MealAccounting) {
+  const auto algo = algos::make_algorithm("gdp1");
+  const auto t = graph::classic_ring(4);
+  RandomUniform sched;
+  rng::Rng rng(3);
+  EngineConfig cfg;
+  cfg.max_steps = 50'000;
+  cfg.record_trace = true;
+  const auto r = run(*algo, t, sched, rng, cfg);
+  std::uint64_t meals_in_trace = 0;
+  std::vector<std::uint64_t> per_phil(4, 0);
+  for (const auto& e : r.trace) {
+    if (e.event.kind == EventKind::kTookSecond) {
+      ++meals_in_trace;
+      ++per_phil[static_cast<std::size_t>(e.phil)];
+    }
+  }
+  EXPECT_EQ(r.total_meals, meals_in_trace);
+  EXPECT_EQ(r.meals_of, per_phil);
+  EXPECT_NE(r.first_meal_step, kNever);
+  for (PhilId p = 0; p < 4; ++p) {
+    if (r.meals_of[static_cast<std::size_t>(p)] > 0) {
+      EXPECT_NE(r.first_meal_of[static_cast<std::size_t>(p)], kNever);
+    }
+  }
+}
+
+TEST(Engine, RoundRobinGapIsBounded) {
+  const auto algo = algos::make_algorithm("lr1");
+  const auto t = graph::classic_ring(6);
+  RoundRobin sched;
+  rng::Rng rng(4);
+  EngineConfig cfg;
+  cfg.max_steps = 12'000;
+  const auto r = run(*algo, t, sched, rng, cfg);
+  EXPECT_LE(r.max_sched_gap, 6u);
+}
+
+TEST(Engine, LongestWaitingIsMaximallyFair) {
+  const auto algo = algos::make_algorithm("gdp1");
+  const auto t = graph::fig1a();
+  LongestWaiting sched;
+  rng::Rng rng(5);
+  EngineConfig cfg;
+  cfg.max_steps = 12'000;
+  const auto r = run(*algo, t, sched, rng, cfg);
+  EXPECT_LE(r.max_sched_gap, static_cast<std::uint64_t>(t.num_phils()));
+}
+
+TEST(Engine, HungerTracksUnfinishedSpans) {
+  // A starving run must report large max hunger even without a meal end.
+  const auto algo = algos::make_algorithm("ticket");
+  RandomUniform sched;
+  sim::RunResult dead;
+  bool found = false;
+  for (std::uint64_t seed = 0; seed < 50 && !found; ++seed) {
+    rng::Rng rng(seed);
+    EngineConfig cfg;
+    cfg.max_steps = 30'000;
+    dead = run(*algo, graph::fig1a(), sched, rng, cfg);
+    found = dead.deadlocked;
+  }
+  ASSERT_TRUE(found);
+  EXPECT_GT(dead.max_hunger(), 0u);
+}
+
+TEST(Engine, DeadlockNotReportedForLiveAlgorithms) {
+  for (const char* name : {"lr1", "gdp1", "gdp2c", "ordered", "arbiter"}) {
+    const auto algo = algos::make_algorithm(name);
+    RandomUniform sched;
+    rng::Rng rng(6);
+    EngineConfig cfg;
+    cfg.max_steps = 30'000;
+    const auto r = run(*algo, graph::fig1a(), sched, rng, cfg);
+    EXPECT_FALSE(r.deadlocked) << name;
+  }
+}
+
+TEST(SampleBranch, RespectsForcedSides) {
+  const auto algo = algos::make_algorithm("lr1");
+  const auto t = graph::classic_ring(3);
+  auto s = algo->initial_state(t);
+  s = algo->step(t, s, 0)[0].next;  // wake
+  const auto branches = algo->step(t, s, 0);
+  ASSERT_EQ(branches.size(), 2u);
+  rng::ScriptedRng scripted(1);
+  scripted.force_side(Side::kRight);
+  const auto& chosen = sample_branch(branches, scripted);
+  EXPECT_EQ(chosen.event.side, Side::kRight);
+  EXPECT_FALSE(scripted.fell_through());
+}
+
+TEST(SampleBranch, RespectsForcedRenumber) {
+  const auto algo = algos::make_algorithm("gdp1", algos::AlgoConfig{.m = 5});
+  const auto t = graph::classic_ring(3);
+  auto s = algo->initial_state(t);
+  s = algo->step(t, s, 0)[0].next;  // wake
+  s = algo->step(t, s, 0)[0].next;  // choose (tie -> right)
+  s = algo->step(t, s, 0)[0].next;  // take first
+  const auto branches = algo->step(t, s, 0);
+  ASSERT_EQ(branches.size(), 5u);
+  rng::ScriptedRng scripted(1);
+  scripted.force_int(4);
+  const auto& chosen = sample_branch(branches, scripted);
+  EXPECT_EQ(chosen.event.value, 4);
+}
+
+TEST(SampleBranch, SingleBranchSkipsRng) {
+  const auto algo = algos::make_algorithm("gdp1");
+  const auto t = graph::classic_ring(3);
+  const auto s = algo->initial_state(t);
+  const auto branches = algo->step(t, s, 0);  // hungry wake: deterministic
+  ASSERT_EQ(branches.size(), 1u);
+  rng::Rng rng(1);
+  (void)sample_branch(branches, rng);
+  EXPECT_EQ(rng.draw_count(), 0u);
+}
+
+TEST(Engine, InvariantCheckingCatchesNothingOnHealthyRuns) {
+  for (const char* name : {"lr1", "lr2", "gdp1", "gdp2", "gdp2c"}) {
+    const auto algo = algos::make_algorithm(name);
+    RandomUniform sched;
+    rng::Rng rng(7);
+    EngineConfig cfg;
+    cfg.max_steps = 15'000;
+    cfg.check_invariants = true;
+    const auto r = run(*algo, graph::theta(1, 2, 2), sched, rng, cfg);
+    EXPECT_TRUE(r.invariant_violation.empty()) << name << ": " << r.invariant_violation;
+  }
+}
+
+}  // namespace
+}  // namespace gdp::sim

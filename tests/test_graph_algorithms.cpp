@@ -1,0 +1,166 @@
+// Structural queries and the executable Theorem 1/2 premises.
+#include <gtest/gtest.h>
+
+#include "gdp/graph/algorithms.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/rng/rng.hpp"
+
+namespace gdp::graph {
+namespace {
+
+Topology path_graph(int forks) {
+  Topology::Builder b("path");
+  b.add_forks(forks);
+  for (int i = 0; i + 1 < forks; ++i) b.add_phil(i, i + 1);
+  return std::move(b).build();
+}
+
+Topology two_triangles() {
+  // Two disjoint triangles: 6 forks, 6 phils, 2 components.
+  Topology::Builder b("two-triangles");
+  b.add_forks(6);
+  for (int base : {0, 3}) {
+    b.add_phil(base, base + 1);
+    b.add_phil(base + 1, base + 2);
+    b.add_phil(base + 2, base);
+  }
+  return std::move(b).build();
+}
+
+TEST(Components, ConnectedGraphsHaveOne) {
+  EXPECT_TRUE(is_connected(classic_ring(6)));
+  EXPECT_TRUE(is_connected(fig1a()));
+  EXPECT_TRUE(is_connected(path_graph(4)));
+}
+
+TEST(Components, DisjointTrianglesHaveTwo) {
+  const Topology t = two_triangles();
+  EXPECT_FALSE(is_connected(t));
+  const auto comp = connected_components(t);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Cyclomatic, CountsIndependentCycles) {
+  EXPECT_EQ(cyclomatic_number(path_graph(5)), 0);
+  EXPECT_EQ(cyclomatic_number(classic_ring(5)), 1);
+  EXPECT_EQ(cyclomatic_number(parallel_arcs(3)), 2);
+  EXPECT_EQ(cyclomatic_number(fig1a()), 4);
+  EXPECT_EQ(cyclomatic_number(two_triangles()), 2);
+}
+
+TEST(FindCycle, ForestHasNone) {
+  EXPECT_FALSE(find_cycle(path_graph(6)).has_value());
+  EXPECT_FALSE(find_cycle(star(4)).has_value());
+}
+
+TEST(FindCycle, RingCycleIsFullLength) {
+  const auto cycle = find_cycle(classic_ring(7));
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->length(), 7);
+  EXPECT_EQ(cycle->forks.size(), cycle->phils.size());
+}
+
+TEST(FindCycle, ParallelArcsGiveTwoCycle) {
+  const auto cycle = find_cycle(parallel_arcs(2));
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->length(), 2);
+}
+
+TEST(FindCycle, CycleEdgesAreIncident) {
+  for (const Topology& t : {fig1a(), ring_with_chord(5), theta(2, 2, 3)}) {
+    const auto cycle = find_cycle(t);
+    ASSERT_TRUE(cycle.has_value()) << t.name();
+    const int len = cycle->length();
+    for (int i = 0; i < len; ++i) {
+      const PhilId p = cycle->phils[static_cast<std::size_t>(i)];
+      const ForkId a = cycle->forks[static_cast<std::size_t>(i)];
+      const ForkId b = cycle->forks[static_cast<std::size_t>((i + 1) % len)];
+      EXPECT_TRUE((t.left_of(p) == a && t.right_of(p) == b) ||
+                  (t.left_of(p) == b && t.right_of(p) == a))
+          << t.name() << " position " << i;
+    }
+  }
+}
+
+TEST(EdgeDisjointPaths, KnownValues) {
+  EXPECT_EQ(edge_disjoint_paths(classic_ring(5), 0, 2), 2);
+  EXPECT_EQ(edge_disjoint_paths(parallel_arcs(4), 0, 1), 4);
+  EXPECT_EQ(edge_disjoint_paths(path_graph(4), 0, 3), 1);
+  EXPECT_EQ(edge_disjoint_paths(theta(1, 2, 3), 0, 1), 3);
+  EXPECT_EQ(edge_disjoint_paths(star(5), 1, 2), 1);
+}
+
+TEST(Thm1Premise, HoldsExactlyWhenRingNodeHasExtraArc) {
+  EXPECT_FALSE(thm1_premise(classic_ring(6)).has_value());
+  EXPECT_FALSE(thm1_premise(path_graph(5)).has_value());
+  EXPECT_TRUE(thm1_premise(ring_with_chord(5)).has_value());
+  EXPECT_TRUE(thm1_premise(ring_with_pendant(4)).has_value());
+  EXPECT_TRUE(thm1_premise(fig1a()).has_value());
+  EXPECT_TRUE(thm1_premise(parallel_arcs(3)).has_value());
+}
+
+TEST(Thm1Premise, WitnessIsACycleThroughHighDegreeNode) {
+  const Topology t = ring_with_pendant(4);
+  const auto witness = thm1_premise(t);
+  ASSERT_TRUE(witness.has_value());
+  bool has_high_degree = false;
+  for (ForkId f : witness->forks) has_high_degree |= t.degree(f) >= 3;
+  EXPECT_TRUE(has_high_degree);
+}
+
+TEST(Thm2Premise, NeedsThreePaths) {
+  EXPECT_FALSE(thm2_premise(classic_ring(6)).has_value());
+  // A pendant arc adds no second path between ring nodes: Thm1 territory
+  // only (this is why the paper needed the separate Theorem 2 analysis).
+  EXPECT_FALSE(thm2_premise(ring_with_pendant(4)).has_value());
+}
+
+TEST(Thm2Premise, ChordGivesThreePaths) {
+  // In ring_with_chord the two chord endpoints ARE joined by three
+  // edge-disjoint paths (two ring halves + the chord), so the premise
+  // holds. Verify against edge_disjoint_paths directly.
+  const Topology t = ring_with_chord(6);
+  EXPECT_EQ(edge_disjoint_paths(t, 0, 3), 3);
+  EXPECT_TRUE(thm2_premise(t).has_value());
+}
+
+TEST(Thm2Premise, HoldsOnThetaAndFig1a) {
+  EXPECT_TRUE(thm2_premise(theta(1, 2, 2)).has_value());
+  EXPECT_TRUE(thm2_premise(parallel_arcs(3)).has_value());
+  EXPECT_TRUE(thm2_premise(fig1a()).has_value());
+  const auto hubs = thm2_premise(theta(2, 3, 4));
+  ASSERT_TRUE(hubs.has_value());
+  EXPECT_EQ(hubs->first, 0);
+  EXPECT_EQ(hubs->second, 1);
+}
+
+TEST(DegreeHistogram, Counts) {
+  const auto h = degree_histogram(star(4));
+  // star(4): 4 leaves of degree 1, center of degree 4.
+  ASSERT_EQ(h.size(), 5u);
+  EXPECT_EQ(h[1], 4);
+  EXPECT_EQ(h[4], 1);
+}
+
+TEST(Thm2ImpliesThm1, OnAllInTreeFamilies) {
+  // A theta graph contains a ring (two of the paths) with a degree-3 node:
+  // the Thm2 premise implies the Thm1 premise. Spot-check families.
+  rng::Rng rng(7);
+  std::vector<Topology> graphs;
+  graphs.push_back(theta(1, 1, 1));
+  graphs.push_back(theta(2, 1, 3));
+  graphs.push_back(fig1a());
+  graphs.push_back(ring_with_chord(8));
+  graphs.push_back(random_multigraph(5, 9, rng));
+  for (const Topology& t : graphs) {
+    if (thm2_premise(t).has_value()) {
+      EXPECT_TRUE(thm1_premise(t).has_value()) << t.name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gdp::graph

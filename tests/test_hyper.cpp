@@ -1,0 +1,120 @@
+// Hypergraph topologies and the GDP-H extension (§6 future work).
+#include <gtest/gtest.h>
+
+#include "gdp/algos/gdp_hyper.hpp"
+#include "gdp/common/check.hpp"
+#include "gdp/graph/hypergraph.hpp"
+
+namespace gdp::algos {
+namespace {
+
+using graph::HyperTopology;
+using graph::hyper_random;
+using graph::hyper_ring;
+
+TEST(HyperTopology, BuilderValidates) {
+  HyperTopology::Builder b;
+  b.add_forks(4);
+  EXPECT_THROW(b.add_phil({2}), PreconditionError);        // arity < 2
+  EXPECT_THROW(b.add_phil({1, 1}), PreconditionError);     // duplicate
+  EXPECT_THROW(b.add_phil({1, 9}), PreconditionError);     // out of range
+  b.add_phil({0, 1, 2});
+  const HyperTopology t = std::move(b).build();
+  EXPECT_EQ(t.num_phils(), 1);
+  EXPECT_EQ(t.arity(0), 3);
+  EXPECT_EQ(t.degree(3), 0);
+}
+
+TEST(HyperRing, Structure) {
+  const HyperTopology t = hyper_ring(6, 3);
+  EXPECT_EQ(t.num_forks(), 6);
+  EXPECT_EQ(t.num_phils(), 6);
+  for (PhilId p = 0; p < 6; ++p) EXPECT_EQ(t.arity(p), 3);
+  for (ForkId f = 0; f < 6; ++f) EXPECT_EQ(t.degree(f), 3);
+  EXPECT_THROW(hyper_ring(4, 4), PreconditionError);  // d <= k-1
+}
+
+TEST(HyperRandom, RespectsArity) {
+  rng::Rng rng(5);
+  const HyperTopology t = hyper_random(8, 10, 4, rng);
+  EXPECT_EQ(t.num_phils(), 10);
+  for (PhilId p = 0; p < 10; ++p) {
+    EXPECT_EQ(t.arity(p), 4);
+    const auto& forks = t.forks_of(p);
+    for (std::size_t i = 1; i < forks.size(); ++i) EXPECT_LT(forks[i - 1], forks[i]);
+  }
+}
+
+TEST(GdpHyper, DegeneratesToPairwiseCaseAtD2) {
+  rng::Rng rng(1);
+  HyperConfig cfg;
+  cfg.max_steps = 200'000;
+  const auto r = run_gdp_hyper(hyper_ring(5, 2), rng, cfg);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_GT(r.total_meals, 0u);
+  EXPECT_TRUE(r.everyone_ate());
+}
+
+TEST(GdpHyper, ProgressOnThickRings) {
+  for (const auto& [k, d] : std::vector<std::pair<int, int>>{{6, 3}, {8, 3}, {8, 4}, {9, 5}}) {
+    rng::Rng rng(static_cast<std::uint64_t>(10 * k + d));
+    HyperConfig cfg;
+    cfg.max_steps = 400'000;
+    const auto r = run_gdp_hyper(hyper_ring(k, d), rng, cfg);
+    EXPECT_FALSE(r.deadlocked) << "k=" << k << " d=" << d;
+    EXPECT_GT(r.total_meals, 0u) << "k=" << k << " d=" << d;
+    EXPECT_TRUE(r.everyone_ate()) << "k=" << k << " d=" << d;
+  }
+}
+
+TEST(GdpHyper, ProgressOnRandomHypergraphs) {
+  rng::Rng topo_rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    const HyperTopology t = hyper_random(7, 9, 3, topo_rng);
+    rng::Rng rng(static_cast<std::uint64_t>(trial));
+    HyperConfig cfg;
+    cfg.max_steps = 300'000;
+    const auto r = run_gdp_hyper(t, rng, cfg);
+    EXPECT_FALSE(r.deadlocked) << trial;
+    EXPECT_GT(r.total_meals, 0u) << trial;
+  }
+}
+
+TEST(GdpHyper, RoundRobinSchedulerAlsoWorks) {
+  rng::Rng rng(3);
+  HyperConfig cfg;
+  cfg.max_steps = 300'000;
+  cfg.random_scheduler = false;
+  const auto r = run_gdp_hyper(hyper_ring(7, 3), rng, cfg);
+  EXPECT_GT(r.total_meals, 0u);
+  EXPECT_TRUE(r.everyone_ate());
+}
+
+TEST(GdpHyper, StopAfterMealsWorks) {
+  rng::Rng rng(4);
+  HyperConfig cfg;
+  cfg.max_steps = 1'000'000;
+  cfg.stop_after_meals = 50;
+  const auto r = run_gdp_hyper(hyper_ring(6, 3), rng, cfg);
+  EXPECT_GE(r.total_meals, 50u);
+  EXPECT_LT(r.steps, cfg.max_steps);
+}
+
+TEST(GdpHyper, RejectsSmallM) {
+  rng::Rng rng(5);
+  HyperConfig cfg;
+  cfg.m = 3;  // < k = 6
+  EXPECT_THROW(run_gdp_hyper(hyper_ring(6, 3), rng, cfg), PreconditionError);
+}
+
+TEST(GdpHyper, FirstMealRecorded) {
+  rng::Rng rng(6);
+  HyperConfig cfg;
+  cfg.max_steps = 200'000;
+  const auto r = run_gdp_hyper(hyper_ring(6, 3), rng, cfg);
+  ASSERT_GT(r.total_meals, 0u);
+  EXPECT_LT(r.first_meal_step, r.steps);
+}
+
+}  // namespace
+}  // namespace gdp::algos

@@ -1,0 +1,166 @@
+// RNG substrate: determinism, stream independence, distribution sanity,
+// scripted forcing.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gdp/common/check.hpp"
+#include "gdp/rng/rng.hpp"
+#include "gdp/rng/scripted.hpp"
+#include "gdp/rng/splitmix.hpp"
+#include "gdp/rng/xoshiro.hpp"
+
+namespace gdp::rng {
+namespace {
+
+TEST(SplitMix, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, JumpProducesDisjointPrefix) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  b.jump();
+  std::set<std::uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.insert(a());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(first.count(b()));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const int v = rng.uniform_int(3, 17);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(5, 4), PreconditionError);
+}
+
+TEST(Rng, UniformIntRoughlyUniform) {
+  Rng rng(2026);
+  std::map<int, int> counts;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.uniform_int(1, 6)];
+  for (int v = 1; v <= 6; ++v) {
+    EXPECT_NEAR(counts[v], trials / 6, trials / 60) << "value " << v;
+  }
+}
+
+TEST(Rng, ChooseSideBias) {
+  Rng rng(11);
+  int lefts = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) lefts += rng.choose_side(0.25) == Side::kLeft;
+  EXPECT_NEAR(static_cast<double>(lefts) / trials, 0.25, 0.02);
+}
+
+TEST(Rng, ChooseSideDegenerate) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.choose_side(1.0), Side::kLeft);
+    EXPECT_EQ(rng.choose_side(0.0), Side::kRight);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.7);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.7, 0.02);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng parent(77);
+  Rng c0 = parent.split(0);
+  Rng c1 = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 128; ++i) equal += c0.next_u64() == c1.next_u64();
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, SplitIsReproducible) {
+  Rng p1(77);
+  Rng p2(77);
+  Rng a = p1.split(5);
+  Rng b = p2.split(5);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DrawCountTracksSemanticDraws) {
+  Rng rng(3);
+  EXPECT_EQ(rng.draw_count(), 0u);
+  rng.choose_side(0.5);
+  rng.uniform_int(1, 10);
+  EXPECT_GE(rng.draw_count(), 2u);
+}
+
+TEST(Scripted, ForcesSidesInOrder) {
+  ScriptedRng rng(1);
+  rng.force_side(Side::kRight);
+  rng.force_side(Side::kLeft);
+  EXPECT_EQ(rng.choose_side(0.5), Side::kRight);
+  EXPECT_EQ(rng.choose_side(0.5), Side::kLeft);
+  EXPECT_FALSE(rng.fell_through());
+}
+
+TEST(Scripted, ForcesIntsAndChecksRange) {
+  ScriptedRng rng(1);
+  rng.force_int(4);
+  EXPECT_EQ(rng.uniform_int(1, 6), 4);
+  rng.force_int(9);
+  EXPECT_THROW(rng.uniform_int(1, 6), PreconditionError);
+}
+
+TEST(Scripted, KindMismatchThrows) {
+  ScriptedRng rng(1);
+  rng.force_int(2);
+  EXPECT_THROW(rng.choose_side(0.5), PreconditionError);
+}
+
+TEST(Scripted, FallsThroughAfterScript) {
+  ScriptedRng rng(99);
+  rng.force_side(Side::kLeft);
+  EXPECT_EQ(rng.choose_side(0.5), Side::kLeft);
+  (void)rng.choose_side(0.5);
+  EXPECT_TRUE(rng.fell_through());
+  EXPECT_EQ(rng.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace gdp::rng

@@ -1,0 +1,112 @@
+// Adversary behaviour: basic fair schedulers, the generic EatAvoider, and
+// the §5 starvation adversary.
+#include <gtest/gtest.h>
+
+#include "gdp/algos/algorithm.hpp"
+#include "gdp/common/check.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/sim/engine.hpp"
+#include "gdp/sim/schedulers/basic.hpp"
+#include "gdp/sim/schedulers/eat_avoider.hpp"
+#include "gdp/sim/schedulers/starve_victim.hpp"
+
+namespace gdp::sim {
+namespace {
+
+TEST(RoundRobin, CyclesInOrder) {
+  RoundRobin sched;
+  const auto t = graph::classic_ring(4);
+  sched.reset(t);
+  RunView view;
+  std::vector<std::uint64_t> steps_of(4, 0), last(4, 0);
+  view.steps_of = &steps_of;
+  view.last_scheduled = &last;
+  rng::Rng rng(1);
+  SimState dummy;
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(sched.pick(t, dummy, view, rng), i % 4);
+  }
+}
+
+TEST(EatAvoider, StaysFairByConstruction) {
+  const auto algo = algos::make_algorithm("lr1");
+  const auto t = graph::fig1a();
+  EatAvoider sched(*algo);
+  rng::Rng rng(1);
+  EngineConfig cfg;
+  cfg.max_steps = 50'000;
+  const auto r = run(*algo, t, sched, rng, cfg);
+  EXPECT_LE(r.max_sched_gap, 64u * 6u);
+}
+
+TEST(EatAvoider, CannotStopGdp1) {
+  // Theorem 3 in adversarial practice: the avoider is forced to concede
+  // meals on every topology.
+  for (const auto& t : {graph::classic_ring(5), graph::fig1a(), graph::parallel_arcs(3),
+                        graph::ring_with_chord(5)}) {
+    const auto algo = algos::make_algorithm("gdp1");
+    EatAvoider sched(*algo);
+    rng::Rng rng(9);
+    EngineConfig cfg;
+    cfg.max_steps = 80'000;
+    const auto r = run(*algo, t, sched, rng, cfg);
+    EXPECT_GT(r.total_meals, 0u) << t.name();
+  }
+}
+
+TEST(EatAvoider, HurtsLr1MoreOffTheRing) {
+  // The avoider exploits multi-sharer refreshes: LR1's meal rate under it
+  // should drop sharply from ring(6) to fig1a (same philosopher count).
+  auto meals_under_avoider = [](const graph::Topology& t) {
+    const auto algo = algos::make_algorithm("lr1");
+    EatAvoider sched(*algo);
+    rng::Rng rng(12);
+    EngineConfig cfg;
+    cfg.max_steps = 120'000;
+    return run(*algo, t, sched, rng, cfg).total_meals;
+  };
+  const auto ring_meals = meals_under_avoider(graph::classic_ring(6));
+  const auto fig_meals = meals_under_avoider(graph::fig1a());
+  EXPECT_LT(static_cast<double>(fig_meals), 0.8 * static_cast<double>(ring_meals));
+}
+
+TEST(StarveVictim, Gdp1VictimStarvesFarLongerThanGdp2c) {
+  // §5's scenario vs Theorem 4's cure, measured as max hunger of the victim.
+  auto victim_hunger = [](const std::string& name, std::uint64_t seed) {
+    const auto algo = algos::make_algorithm(name);
+    StarveVictim sched(*algo, StarveVictim::Config{.victim = 0, .hard_cap = 0});
+    rng::Rng rng(seed);
+    EngineConfig cfg;
+    cfg.max_steps = 120'000;
+    const auto t = graph::classic_ring(3);
+    const auto r = run(*algo, t, sched, rng, cfg);
+    return r.max_hunger_of[0];
+  };
+  double gdp1_total = 0.0;
+  double gdp2c_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    gdp1_total += static_cast<double>(victim_hunger("gdp1", seed));
+    gdp2c_total += static_cast<double>(victim_hunger("gdp2c", seed));
+  }
+  EXPECT_GT(gdp1_total, 3.0 * gdp2c_total)
+      << "gdp1=" << gdp1_total << " gdp2c=" << gdp2c_total;
+}
+
+TEST(StarveVictim, SystemStillProgresses) {
+  const auto algo = algos::make_algorithm("gdp1");
+  StarveVictim sched(*algo, StarveVictim::Config{.victim = 1, .hard_cap = 0});
+  rng::Rng rng(2);
+  EngineConfig cfg;
+  cfg.max_steps = 60'000;
+  const auto r = run(*algo, graph::classic_ring(4), sched, rng, cfg);
+  EXPECT_GT(r.total_meals, 0u);  // progress held (Theorem 3), only P1 suffers
+}
+
+TEST(StarveVictim, RejectsBadVictim) {
+  const auto algo = algos::make_algorithm("gdp1");
+  StarveVictim sched(*algo, StarveVictim::Config{.victim = 9, .hard_cap = 0});
+  EXPECT_THROW(sched.reset(graph::classic_ring(3)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace gdp::sim

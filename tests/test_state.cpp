@@ -1,0 +1,201 @@
+// SimState semantics: test-and-set, guest-book ranks, Cond, encoding,
+// invariants.
+#include <gtest/gtest.h>
+
+#include "gdp/graph/builders.hpp"
+#include "gdp/sim/state.hpp"
+
+namespace gdp::sim {
+namespace {
+
+SimState blank(const graph::Topology& t, bool books = false) {
+  SimState s;
+  s.forks.assign(static_cast<std::size_t>(t.num_forks()), ForkState{});
+  s.phils.assign(static_cast<std::size_t>(t.num_phils()), PhilState{});
+  if (books) {
+    for (ForkId f = 0; f < t.num_forks(); ++f) {
+      s.fork(f).use_rank.assign(static_cast<std::size_t>(t.degree(f)), 0);
+    }
+  }
+  return s;
+}
+
+TEST(TryTake, AtomicSemantics) {
+  const auto t = graph::classic_ring(3);
+  SimState s = blank(t);
+  EXPECT_TRUE(try_take(s, 0, 1));
+  EXPECT_EQ(s.fork(0).holder, 1);
+  EXPECT_FALSE(try_take(s, 0, 2));  // taken: test-and-set fails
+  EXPECT_EQ(s.fork(0).holder, 1);
+  release(s, 0, 1);
+  EXPECT_TRUE(s.fork(0).free());
+  EXPECT_TRUE(try_take(s, 0, 2));
+}
+
+TEST(MarkUsed, RanksStayDenseAndOrdered) {
+  const auto t = graph::parallel_arcs(3);  // fork 0 shared by P0,P1,P2
+  SimState s = blank(t, /*books=*/true);
+
+  mark_used(s, t, 0, 0);  // P0 uses first
+  mark_used(s, t, 0, 2);  // then P2
+  const auto& rank = s.fork(0).use_rank;
+  EXPECT_EQ(rank[0], 1);  // P0 oldest user
+  EXPECT_EQ(rank[1], 0);  // P1 never used
+  EXPECT_EQ(rank[2], 2);  // P2 most recent
+
+  mark_used(s, t, 0, 0);  // P0 again: now most recent
+  EXPECT_EQ(s.fork(0).use_rank[0], 2);
+  EXPECT_EQ(s.fork(0).use_rank[2], 1);
+
+  mark_used(s, t, 0, 1);
+  EXPECT_EQ(s.fork(0).use_rank[1], 3);
+  EXPECT_TRUE(check_invariants(s, t).empty());
+}
+
+TEST(Cond, VacuousWithoutOtherRequests) {
+  const auto t = graph::parallel_arcs(2);
+  SimState s = blank(t, true);
+  EXPECT_TRUE(cond_holds(s, t, 0, 0));
+  // Own request doesn't block.
+  s.fork(0).requests = 0b01;  // slot 0 = P0
+  EXPECT_TRUE(cond_holds(s, t, 0, 0));
+}
+
+TEST(Cond, YieldsToHungrierRequester) {
+  const auto t = graph::parallel_arcs(2);
+  SimState s = blank(t, true);
+  s.fork(0).requests = 0b11;  // both request
+
+  // Nobody has eaten: ties allowed, both may proceed (TAS breaks the tie).
+  EXPECT_TRUE(cond_holds(s, t, 0, 0));
+  EXPECT_TRUE(cond_holds(s, t, 0, 1));
+
+  // P0 eats: now P0 must yield to P1, but not vice versa.
+  mark_used(s, t, 0, 0);
+  EXPECT_FALSE(cond_holds(s, t, 0, 0));
+  EXPECT_TRUE(cond_holds(s, t, 0, 1));
+
+  // P1 eats after: P0 allowed again, P1 must yield.
+  mark_used(s, t, 0, 1);
+  EXPECT_TRUE(cond_holds(s, t, 0, 0));
+  EXPECT_FALSE(cond_holds(s, t, 0, 1));
+}
+
+TEST(Cond, NonRequestersDoNotBlock) {
+  const auto t = graph::parallel_arcs(3);
+  SimState s = blank(t, true);
+  mark_used(s, t, 0, 0);  // P0 ate; P1, P2 never
+  s.fork(0).requests = 0b001;  // only P0 requests
+  EXPECT_TRUE(cond_holds(s, t, 0, 0));  // others not requesting
+  s.fork(0).requests = 0b011;  // P1 requests too
+  EXPECT_FALSE(cond_holds(s, t, 0, 0));
+  EXPECT_TRUE(cond_holds(s, t, 0, 1));
+}
+
+TEST(Encode, DistinctStatesDistinctBytes) {
+  const auto t = graph::classic_ring(3);
+  SimState a = blank(t);
+  SimState b = blank(t);
+  std::vector<std::uint8_t> ea, eb;
+  a.encode(ea);
+  b.encode(eb);
+  EXPECT_EQ(ea, eb);
+
+  b.phil(1).phase = Phase::kChoose;
+  b.encode(eb);
+  EXPECT_NE(ea, eb);
+
+  b = a;
+  b.fork(2).nr = 7;
+  b.encode(eb);
+  EXPECT_NE(ea, eb);
+
+  b = a;
+  b.fork(0).holder = 0;
+  b.encode(eb);
+  EXPECT_NE(ea, eb);
+
+  b = a;
+  b.aux.push_back(5);
+  b.encode(eb);
+  EXPECT_NE(ea, eb);
+}
+
+TEST(Queries, EatingAndTrying) {
+  const auto t = graph::classic_ring(3);
+  SimState s = blank(t);
+  EXPECT_FALSE(someone_eating(s));
+  EXPECT_FALSE(someone_trying(s));
+  EXPECT_EQ(eater_mask(s), 0u);
+
+  s.phil(1).phase = Phase::kCommit;
+  EXPECT_TRUE(someone_trying(s));
+  EXPECT_TRUE(is_trying(s, 1));
+  EXPECT_FALSE(is_trying(s, 0));
+
+  s.phil(2).phase = Phase::kEating;
+  EXPECT_TRUE(someone_eating(s));
+  EXPECT_EQ(eater_mask(s), 0b100u);
+  EXPECT_FALSE(is_trying(s, 2));
+}
+
+TEST(Invariants, CatchCorruptStates) {
+  const auto t = graph::classic_ring(3);
+  SimState s = blank(t);
+  EXPECT_TRUE(check_invariants(s, t).empty());
+
+  // Eating without forks.
+  SimState bad = s;
+  bad.phil(0).phase = Phase::kEating;
+  EXPECT_FALSE(check_invariants(bad, t).empty());
+
+  // Fork held by a non-adjacent philosopher.
+  bad = s;
+  bad.fork(0).holder = 1;  // P1's forks are 1 and 2
+  EXPECT_FALSE(check_invariants(bad, t).empty());
+
+  // Holding while merely committed.
+  bad = s;
+  bad.fork(0).holder = 0;
+  bad.phil(0).phase = Phase::kCommit;
+  EXPECT_FALSE(check_invariants(bad, t).empty());
+
+  // Correct holding state passes.
+  SimState good = s;
+  good.fork(0).holder = 0;
+  good.phil(0).phase = Phase::kTrySecond;
+  good.phil(0).committed = Side::kLeft;
+  EXPECT_TRUE(check_invariants(good, t).empty());
+}
+
+TEST(Invariants, RankDensityChecked) {
+  const auto t = graph::parallel_arcs(2);
+  SimState s = blank(t, true);
+  s.fork(0).use_rank = {2, 0};  // rank 2 with no rank 1: not dense
+  EXPECT_FALSE(check_invariants(s, t).empty());
+  s.fork(0).use_rank = {1, 2};
+  EXPECT_TRUE(check_invariants(s, t).empty());
+}
+
+TEST(ForksHeld, CountsBothSides) {
+  const auto t = graph::classic_ring(3);
+  SimState s = blank(t);
+  EXPECT_EQ(forks_held(s, t, 0), 0);
+  s.fork(0).holder = 0;
+  EXPECT_EQ(forks_held(s, t, 0), 1);
+  s.fork(1).holder = 0;
+  EXPECT_EQ(forks_held(s, t, 0), 2);
+}
+
+TEST(ToString, MentionsHoldersAndPhases) {
+  const auto t = graph::classic_ring(3);
+  SimState s = blank(t);
+  s.fork(0).holder = 0;
+  s.phil(0).phase = Phase::kTrySecond;
+  const std::string repr = to_string(s, t);
+  EXPECT_NE(repr.find("f0:P0"), std::string::npos);
+  EXPECT_NE(repr.find("TrySecond"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdp::sim

@@ -1,0 +1,172 @@
+// Statistics kit: online moments, intervals, fairness index, histogram,
+// table and CSV rendering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "gdp/common/check.hpp"
+#include "gdp/common/strings.hpp"
+#include "gdp/stats/ci.hpp"
+#include "gdp/stats/csv.hpp"
+#include "gdp/stats/histogram.hpp"
+#include "gdp/stats/jain.hpp"
+#include "gdp/stats/online.hpp"
+#include "gdp/stats/table.hpp"
+
+namespace gdp::stats {
+namespace {
+
+TEST(Online, MomentsMatchClosedForm) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Online, EmptyIsSafe) {
+  OnlineStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sem(), 0.0);
+}
+
+TEST(Online, MergeEqualsConcatenation) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Wilson, CoversTrueProportion) {
+  const auto ci = wilson(50, 100);
+  EXPECT_TRUE(ci.contains(0.5));
+  EXPECT_GT(ci.low, 0.39);
+  EXPECT_LT(ci.high, 0.61);
+}
+
+TEST(Wilson, EdgeCases) {
+  EXPECT_DOUBLE_EQ(wilson(0, 0).low, 0.0);
+  EXPECT_DOUBLE_EQ(wilson(0, 0).high, 1.0);
+  const auto none = wilson(0, 50);
+  EXPECT_DOUBLE_EQ(none.low, 0.0);
+  EXPECT_LT(none.high, 0.12);
+  const auto all = wilson(50, 50);
+  EXPECT_GT(all.low, 0.88);
+  EXPECT_DOUBLE_EQ(all.high, 1.0);
+}
+
+TEST(Wilson, TightensWithSamples) {
+  const auto small = wilson(10, 20);
+  const auto large = wilson(1000, 2000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(Jain, KnownValues) {
+  EXPECT_DOUBLE_EQ(jain_index({5, 5, 5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({10, 0, 0, 0}), 0.25);
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0, 0}), 1.0);
+  EXPECT_NEAR(jain_index({1, 2, 3}), 36.0 / (3 * 14.0), 1e-12);
+}
+
+TEST(HistogramTest, QuantilesInterpolate) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 10.0);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 10.0);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 10.0);
+  EXPECT_LE(h.quantile(0.25), h.quantile(0.75));
+}
+
+TEST(HistogramTest, ClampsOutliers) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(1e9);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+}
+
+TEST(HistogramTest, RenderShowsBars) {
+  Histogram h(0.0, 10.0, 5);
+  for (int i = 0; i < 20; ++i) h.add(3.0);
+  const std::string out = h.render();
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"algo", "meals"});
+  table.add_row({"lr1", "120"});
+  table.add_row({"gdp1-long-name", "7"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| algo"), std::string::npos);
+  EXPECT_NE(out.find("gdp1-long-name"), std::string::npos);
+  // All lines equally wide.
+  std::size_t width = out.find('\n');
+  for (std::size_t at = 0; at < out.size();) {
+    const std::size_t next = out.find('\n', at);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - at, width);
+    at = next + 1;
+  }
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"1"});
+  table.add_rule();
+  table.add_row({"1", "2", "3"});
+  EXPECT_NE(table.render().find("| 1 |"), std::string::npos);
+}
+
+TEST(Csv, EscapesAndWrites) {
+  const std::string path = "/tmp/gdp_test_stats.csv";
+  {
+    CsvWriter csv(path, {"name", "value"});
+    csv.add_row({std::vector<std::string>{"plain", "1"}});
+    csv.add_row({std::vector<std::string>{"has,comma", "quote\"inside"}});
+    csv.add_row(std::vector<double>{1.5, 2.25}, 2);
+  }
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("name,value"), std::string::npos);
+  EXPECT_NE(all.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(all.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(all.find("1.50,2.25"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWrongArity) {
+  const std::string path = "/tmp/gdp_test_stats2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.add_row({std::vector<std::string>{"only-one"}}), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(Strings, Helpers) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(pad("x", 3), "x  ");
+  EXPECT_EQ(pad("x", -3), "  x");
+  EXPECT_EQ(phil_name(4), "P4");
+  EXPECT_EQ(fork_name(0), "f0");
+  EXPECT_EQ(percent(0.2503), "25.0%");
+}
+
+}  // namespace
+}  // namespace gdp::stats

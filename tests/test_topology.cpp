@@ -1,0 +1,246 @@
+// Topology container and builders: Definition 1 constraints, incidence
+// structure, the Figure 1 systems' exact shapes.
+#include <gtest/gtest.h>
+
+#include "gdp/common/check.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/graph/dot.hpp"
+#include "gdp/sim/state.hpp"
+#include "gdp/graph/topology.hpp"
+#include "gdp/rng/rng.hpp"
+
+namespace gdp::graph {
+namespace {
+
+TEST(Builder, RejectsDegenerateSystems) {
+  {
+    Topology::Builder b;
+    b.add_forks(1);
+    EXPECT_THROW(b.add_phil(0, 0), PreconditionError);  // distinct forks
+  }
+  {
+    Topology::Builder b;
+    b.add_forks(2);
+    EXPECT_THROW(b.add_phil(0, 2), PreconditionError);  // out of range
+  }
+  {
+    Topology::Builder b;
+    b.add_forks(2);
+    EXPECT_THROW(std::move(b).build(), PreconditionError);  // no philosophers
+  }
+}
+
+TEST(Builder, AddForksReturnsFirstId) {
+  Topology::Builder b;
+  EXPECT_EQ(b.add_forks(3), 0);
+  EXPECT_EQ(b.add_forks(2), 3);
+  EXPECT_THROW(b.add_forks(0), PreconditionError);
+}
+
+TEST(ClassicRing, Structure) {
+  const Topology t = classic_ring(5);
+  EXPECT_EQ(t.num_forks(), 5);
+  EXPECT_EQ(t.num_phils(), 5);
+  for (PhilId p = 0; p < 5; ++p) {
+    EXPECT_EQ(t.left_of(p), p);
+    EXPECT_EQ(t.right_of(p), (p + 1) % 5);
+    EXPECT_EQ(t.degree(p), 2);
+  }
+  EXPECT_THROW(classic_ring(1), PreconditionError);
+}
+
+TEST(Fig1Systems, MatchThePaperCounts) {
+  // "From left to right: 6 philosophers, 3 forks. 12 philosophers, 6 forks.
+  //  16 philosophers, 12 forks. 10 philosophers, 9 forks."
+  const Topology a = fig1a();
+  EXPECT_EQ(a.num_phils(), 6);
+  EXPECT_EQ(a.num_forks(), 3);
+  const Topology b = fig1b();
+  EXPECT_EQ(b.num_phils(), 12);
+  EXPECT_EQ(b.num_forks(), 6);
+  const Topology c = fig1c();
+  EXPECT_EQ(c.num_phils(), 16);
+  EXPECT_EQ(c.num_forks(), 12);
+  const Topology d = fig1d();
+  EXPECT_EQ(d.num_phils(), 10);
+  EXPECT_EQ(d.num_forks(), 9);
+}
+
+TEST(Fig1a, EveryForkSharedByFour) {
+  const Topology t = fig1a();
+  for (ForkId f = 0; f < 3; ++f) EXPECT_EQ(t.degree(f), 4);
+  // Parallel pairs: P_i and P_{i+3} share both forks.
+  for (PhilId p = 0; p < 3; ++p) EXPECT_EQ(t.arc(p), t.arc(p + 3));
+}
+
+TEST(ParallelArcs, AllPhilsShareBothForks) {
+  const Topology t = parallel_arcs(4);
+  EXPECT_EQ(t.num_forks(), 2);
+  EXPECT_EQ(t.num_phils(), 4);
+  EXPECT_EQ(t.degree(0), 4);
+  EXPECT_EQ(t.degree(1), 4);
+  for (PhilId p = 0; p < 4; ++p) {
+    for (PhilId q = 0; q < 4; ++q) {
+      if (p != q) EXPECT_TRUE(t.shares_fork(p, q));
+    }
+  }
+}
+
+TEST(RingWithChord, Thm1Shape) {
+  const Topology t = ring_with_chord(6);
+  EXPECT_EQ(t.num_forks(), 6);
+  EXPECT_EQ(t.num_phils(), 7);
+  EXPECT_EQ(t.degree(0), 3);  // the chord endpoint
+  EXPECT_EQ(t.degree(3), 3);
+  EXPECT_EQ(t.degree(1), 2);
+}
+
+TEST(RingWithPendant, Thm1Shape) {
+  const Topology t = ring_with_pendant(4);
+  EXPECT_EQ(t.num_forks(), 5);
+  EXPECT_EQ(t.num_phils(), 5);
+  EXPECT_EQ(t.degree(0), 3);
+  EXPECT_EQ(t.degree(4), 1);  // the outside fork g
+}
+
+TEST(Theta, PathsMeetAtHubs) {
+  const Topology t = theta(2, 3, 1);
+  // forks: 2 hubs + (2-1) + (3-1) + 0 interior = 5; phils: 2+3+1 = 6.
+  EXPECT_EQ(t.num_forks(), 5);
+  EXPECT_EQ(t.num_phils(), 6);
+  EXPECT_EQ(t.degree(0), 3);
+  EXPECT_EQ(t.degree(1), 3);
+}
+
+TEST(Theta, MinimalIsParallelArcs) {
+  const Topology t = theta(1, 1, 1);
+  EXPECT_EQ(t.num_forks(), 2);
+  EXPECT_EQ(t.num_phils(), 3);
+}
+
+TEST(Star, CenterSharedByAll) {
+  const Topology t = star(6);
+  EXPECT_EQ(t.num_forks(), 7);
+  EXPECT_EQ(t.num_phils(), 6);
+  EXPECT_EQ(t.degree(0), 6);
+  for (ForkId leaf = 1; leaf <= 6; ++leaf) EXPECT_EQ(t.degree(leaf), 1);
+}
+
+TEST(Grid, EdgeCount) {
+  const Topology t = grid(3, 4);
+  EXPECT_EQ(t.num_forks(), 12);
+  EXPECT_EQ(t.num_phils(), 3 * 3 + 4 * 2);  // 3*(4-1) + 4*(3-1) = 17
+}
+
+TEST(Complete, PairsOfForks) {
+  const Topology t = complete(5);
+  EXPECT_EQ(t.num_phils(), 10);
+  for (ForkId f = 0; f < 5; ++f) EXPECT_EQ(t.degree(f), 4);
+}
+
+TEST(Incidence, SlotsAreConsistent) {
+  const Topology t = fig1a();
+  for (ForkId f = 0; f < t.num_forks(); ++f) {
+    const auto sharers = t.incident(f);
+    EXPECT_EQ(static_cast<int>(sharers.size()), t.degree(f));
+    for (int slot = 0; slot < static_cast<int>(sharers.size()); ++slot) {
+      EXPECT_EQ(t.slot_of(f, sharers[slot]), slot);
+    }
+  }
+  for (PhilId p = 0; p < t.num_phils(); ++p) {
+    EXPECT_EQ(t.slot_of(t.left_of(p), p), t.slot_at(p, Side::kLeft));
+    EXPECT_EQ(t.slot_of(t.right_of(p), p), t.slot_at(p, Side::kRight));
+  }
+}
+
+TEST(Accessors, SideAndOtherFork) {
+  const Topology t = classic_ring(4);
+  EXPECT_EQ(t.side_of(1, 1), Side::kLeft);
+  EXPECT_EQ(t.side_of(1, 2), Side::kRight);
+  EXPECT_EQ(t.other_fork(1, 1), 2);
+  EXPECT_EQ(t.other_fork(1, 2), 1);
+  EXPECT_THROW(t.other_fork(1, 3), PreconditionError);
+  EXPECT_EQ(other(Side::kLeft), Side::kRight);
+  EXPECT_EQ(other(Side::kRight), Side::kLeft);
+}
+
+TEST(Neighbors, SharersOfEitherFork) {
+  const Topology t = classic_ring(5);
+  const auto n = t.neighbors(0);
+  EXPECT_EQ(n, (std::vector<PhilId>{1, 4}));
+  EXPECT_TRUE(t.shares_fork(0, 1));
+  EXPECT_FALSE(t.shares_fork(0, 2));
+}
+
+TEST(Dot, PlainExportNamesEveryElement) {
+  const Topology t = classic_ring(3);
+  const std::string dot = to_dot(t);
+  EXPECT_NE(dot.find("graph \"ring(3)\""), std::string::npos);
+  for (const char* token : {"f0", "f1", "f2", "P0", "P1", "P2", "f0 -- f1"}) {
+    EXPECT_NE(dot.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(Dot, AnnotatedExportShowsStateDetails) {
+  const Topology t = classic_ring(3);
+  sim::SimState s;
+  s.forks.assign(3, sim::ForkState{});
+  s.phils.assign(3, sim::PhilState{});
+  s.fork(0).holder = 0;
+  s.fork(0).nr = 4;
+  s.phil(0).phase = sim::Phase::kEating;  // rendering only; not invariant-checked
+  const std::string dot = to_dot(t, s);
+  EXPECT_NE(dot.find("nr=4"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightgray"), std::string::npos);  // held fork
+  EXPECT_NE(dot.find("forestgreen"), std::string::npos);          // eating arc
+}
+
+TEST(RandomMultigraph, ConnectedWithRequestedCounts) {
+  rng::Rng rng(2001);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Topology t = random_multigraph(6, 10, rng);
+    EXPECT_EQ(t.num_forks(), 6);
+    EXPECT_EQ(t.num_phils(), 10);
+  }
+}
+
+struct BuilderCase {
+  std::string label;
+  Topology topo;
+};
+
+class AllBuilders : public ::testing::TestWithParam<int> {};
+
+Topology builder_case(int index) {
+  rng::Rng rng(42);
+  switch (index) {
+    case 0: return classic_ring(4);
+    case 1: return parallel_arcs(3);
+    case 2: return fig1a();
+    case 3: return fig1b();
+    case 4: return fig1c();
+    case 5: return fig1d();
+    case 6: return ring_with_chord(5);
+    case 7: return ring_with_pendant(3);
+    case 8: return theta(1, 2, 2);
+    case 9: return star(5);
+    case 10: return grid(2, 3);
+    case 11: return complete(4);
+    default: return random_multigraph(5, 8, rng);
+  }
+}
+
+TEST_P(AllBuilders, SatisfyDefinitionOne) {
+  const Topology t = builder_case(GetParam());
+  EXPECT_GE(t.num_forks(), 2);
+  EXPECT_GE(t.num_phils(), 1);
+  int degree_total = 0;
+  for (ForkId f = 0; f < t.num_forks(); ++f) degree_total += t.degree(f);
+  EXPECT_EQ(degree_total, 2 * t.num_phils());  // every phil has two distinct forks
+  for (PhilId p = 0; p < t.num_phils(); ++p) EXPECT_NE(t.left_of(p), t.right_of(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Builders, AllBuilders, ::testing::Range(0, 13));
+
+}  // namespace
+}  // namespace gdp::graph

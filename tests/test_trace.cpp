@@ -1,0 +1,170 @@
+// Trace rendering and the exact replay of the paper's §3 example
+// (States 1 -> 6 on the 6-philosopher / 3-fork system).
+#include <gtest/gtest.h>
+
+#include "gdp/algos/algorithm.hpp"
+#include "gdp/common/check.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/rng/scripted.hpp"
+#include "gdp/sim/engine.hpp"
+#include "gdp/trace/ascii.hpp"
+#include "gdp/trace/replay.hpp"
+
+namespace gdp::trace {
+namespace {
+
+using sim::EngineConfig;
+using sim::Phase;
+
+TEST(ScriptScheduler, PlaysBackThenRoundRobins) {
+  ScriptScheduler sched({3, 1, 4});
+  const auto t = graph::classic_ring(5);
+  sched.reset(t);
+  sim::RunView view;
+  std::vector<std::uint64_t> zeros(5, 0);
+  view.steps_of = &zeros;
+  view.last_scheduled = &zeros;
+  rng::Rng rng(1);
+  sim::SimState dummy;
+  EXPECT_EQ(sched.pick(t, dummy, view, rng), 3);
+  EXPECT_EQ(sched.pick(t, dummy, view, rng), 1);
+  EXPECT_EQ(sched.pick(t, dummy, view, rng), 4);
+  EXPECT_TRUE(sched.exhausted());
+  EXPECT_EQ(sched.pick(t, dummy, view, rng), 0);  // round-robin from here
+  EXPECT_EQ(sched.pick(t, dummy, view, rng), 1);
+}
+
+TEST(ScriptScheduler, RejectsForeignIds) {
+  ScriptScheduler sched({9});
+  const auto t = graph::classic_ring(3);
+  sched.reset(t);
+  sim::RunView view;
+  std::vector<std::uint64_t> zeros(3, 0);
+  view.steps_of = &zeros;
+  view.last_scheduled = &zeros;
+  rng::Rng rng(1);
+  sim::SimState dummy;
+  EXPECT_THROW(sched.pick(t, dummy, view, rng), PreconditionError);
+}
+
+TEST(RenderState, ShowsArrowsAndPhases) {
+  const auto algo = algos::make_algorithm("lr1");
+  const auto t = graph::fig1a();
+  auto s = algo->initial_state(t);
+  s.fork(0).holder = 2;
+  s.phil(2).phase = Phase::kTrySecond;
+  s.phil(2).committed = t.side_of(2, 0);
+  s.phil(3).phase = Phase::kCommit;
+  s.phil(3).committed = t.side_of(3, 0);
+  const std::string out = render_state(t, s);
+  EXPECT_NE(out.find("<==P2"), std::string::npos);          // filled arrow
+  EXPECT_NE(out.find("P3 (committed)"), std::string::npos); // empty arrow
+  EXPECT_NE(out.find("TrySecond"), std::string::npos);
+}
+
+TEST(RenderTrace, TruncatesLongTraces) {
+  std::vector<sim::TraceEntry> trace(500);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i].step = i;
+    trace[i].phil = 0;
+  }
+  const std::string out = render_trace(graph::fig1a(), trace, 10);
+  EXPECT_NE(out.find("490 more"), std::string::npos);
+}
+
+// The paper's §3 example, step for step. Roles in our ids (see
+// trap_fig1a.hpp): A=P2 holds a=f0, B=P0 committed to b=f1, C=P1 committed
+// to c=f2; partners P3/P4/P5 take over after one rotation.
+TEST(PaperReplay, StatesOneThroughSix) {
+  const auto t = graph::fig1a();
+  const auto lr1 = algos::make_algorithm("lr1");
+
+  ScriptScheduler sched({
+      0, 1, 2, 3, 4, 5,  // wake everyone
+      2, 2,              // P2 draws f0 (right) and takes it     -> State 1
+      0, 1,              // P0 commits f1, P1 commits f2         (State 1 cont.)
+      3,                 // P3 stubbornly commits to held f0     -> State 2
+      0,                 // P0 takes f1
+      4,                 // P4 commits to held f1                -> State 3
+      1,                 // P1 takes f2                          -> State 4
+      2,                 // P2 fails on f2, releases f0
+      5,                 // P5 commits to held f2                -> State 5
+      1,                 // P1 fails on f1, releases f2
+      3,                 // P3 takes f0
+      0,                 // P0 fails on f0, releases f1          -> State 6
+  });
+
+  rng::ScriptedRng rng(1);
+  // Draw order: P2, P0, P1, P3, P4, P5.
+  rng.force_side(Side::kRight);  // P2 -> f0
+  rng.force_side(Side::kRight);  // P0 -> f1
+  rng.force_side(Side::kRight);  // P1 -> f2
+  rng.force_side(Side::kLeft);   // P3 -> f0
+  rng.force_side(Side::kLeft);   // P4 -> f1
+  rng.force_side(Side::kLeft);   // P5 -> f2
+
+  EngineConfig cfg;
+  cfg.max_steps = 19;  // exactly the scripted schedule
+  cfg.record_trace = true;
+  cfg.check_invariants = true;
+  const auto result = run(*lr1, t, sched, rng, cfg);
+
+  EXPECT_TRUE(result.invariant_violation.empty()) << result.invariant_violation;
+  EXPECT_EQ(result.total_meals, 0u);  // nobody ate across the whole round
+  EXPECT_FALSE(rng.fell_through());   // every draw was the scripted one
+
+  // State 6 is State 1 with the partner philosophers in the roles:
+  // P3 holds f0, P4 committed to f1, P5 committed to f2, P0-P2 re-choosing.
+  const auto& s = result.final_state;
+  EXPECT_EQ(s.fork(0).holder, 3);
+  EXPECT_TRUE(s.fork(1).free());
+  EXPECT_TRUE(s.fork(2).free());
+  EXPECT_EQ(s.phil(3).phase, Phase::kTrySecond);
+  EXPECT_EQ(s.phil(4).phase, Phase::kCommit);
+  EXPECT_EQ(t.fork_of(4, s.phil(4).committed), 1);
+  EXPECT_EQ(s.phil(5).phase, Phase::kCommit);
+  EXPECT_EQ(t.fork_of(5, s.phil(5).committed), 2);
+  for (PhilId p : {0, 1, 2}) EXPECT_EQ(s.phil(p).phase, Phase::kChoose) << p;
+}
+
+TEST(PaperReplay, IntermediateStatesMatchTheNarrative) {
+  // Re-run the script, checking the checkpoints the paper draws.
+  const auto t = graph::fig1a();
+  const auto lr1 = algos::make_algorithm("lr1");
+  std::vector<PhilId> order{0, 1, 2, 3, 4, 5, 2, 2, 0, 1, 3, 0, 4, 1, 2, 5, 1, 3, 0};
+  rng::ScriptedRng rng(1);
+  for (Side side : {Side::kRight, Side::kRight, Side::kRight, Side::kLeft, Side::kLeft,
+                    Side::kLeft}) {
+    rng.force_side(side);
+  }
+
+  auto s = lr1->initial_state(t);
+  std::size_t at = 0;
+  auto step_through = [&](std::size_t count, auto&& check) {
+    for (; at < count; ++at) {
+      const auto branches = lr1->step(t, s, order[at]);
+      s = sim::sample_branch(branches, rng).next;
+    }
+    check();
+  };
+
+  // After wake + P2's draw/take + P0/P1 commits: the paper's State 1.
+  step_through(10, [&] {
+    EXPECT_EQ(s.fork(0).holder, 2);
+    EXPECT_EQ(s.phil(0).phase, Phase::kCommit);
+    EXPECT_EQ(s.phil(1).phase, Phase::kCommit);
+  });
+  // State 2: P3 committed to the fork taken by P2.
+  step_through(11, [&] {
+    EXPECT_EQ(s.phil(3).phase, Phase::kCommit);
+    EXPECT_EQ(t.fork_of(3, s.phil(3).committed), 0);
+  });
+  // State 4: P0 holds f1, P1 holds f2 (both as first forks).
+  step_through(14, [&] {
+    EXPECT_EQ(s.fork(1).holder, 0);
+    EXPECT_EQ(s.fork(2).holder, 1);
+  });
+}
+
+}  // namespace
+}  // namespace gdp::trace

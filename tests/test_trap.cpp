@@ -1,0 +1,158 @@
+// The scripted §3 adversary (TrapFig1a): exact replication of the paper's
+// winning strategy, its probability bound, and its fairness.
+#include <gtest/gtest.h>
+
+#include "gdp/algos/algorithm.hpp"
+#include "gdp/common/check.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/sim/engine.hpp"
+#include "gdp/sim/schedulers/trap_fig1a.hpp"
+#include "gdp/stats/ci.hpp"
+
+namespace gdp::sim {
+namespace {
+
+struct TrapOutcome {
+  int trials = 0;
+  int trapped = 0;        // still in the trap at the end, zero meals
+  std::uint64_t min_rounds = ~std::uint64_t{0};
+  bool trapped_but_ate = false;  // must never happen
+  std::uint64_t worst_gap = 0;
+};
+
+TrapOutcome run_trials(const std::string& algo_name, int trials, std::uint64_t steps) {
+  TrapOutcome out;
+  out.trials = trials;
+  const auto t = graph::fig1a();
+  for (int i = 0; i < trials; ++i) {
+    const auto algo = algos::make_algorithm(algo_name);
+    TrapFig1a trap;
+    rng::Rng rng(static_cast<std::uint64_t>(9000 + i));
+    EngineConfig cfg;
+    cfg.max_steps = steps;
+    const auto r = run(*algo, t, trap, rng, cfg);
+    out.worst_gap = std::max(out.worst_gap, r.max_sched_gap);
+    if (trap.trapped()) {
+      if (r.total_meals != 0) {
+        out.trapped_but_ate = true;
+      } else {
+        ++out.trapped;
+        out.min_rounds = std::min(out.min_rounds, trap.rounds());
+      }
+    }
+  }
+  return out;
+}
+
+TEST(TrapFig1a, RequiresTheRightTopology) {
+  TrapFig1a trap;
+  EXPECT_THROW(trap.reset(graph::classic_ring(6)), PreconditionError);
+  EXPECT_NO_THROW(trap.reset(graph::fig1a()));
+}
+
+TEST(TrapFig1a, NoMealEverWhileTrapped) {
+  const auto out = run_trials("lr1", 120, 30'000);
+  EXPECT_FALSE(out.trapped_but_ate);
+  EXPECT_GT(out.trapped, 0);
+}
+
+TEST(TrapFig1a, SuccessRateBeatsThePaperQuarterBound) {
+  // The paper: P(no-progress computation) >= 1/4 (before the stubbornness
+  // discount). Our adaptive setup succeeds in roughly half the trials; the
+  // Wilson 95% lower bound must clear 1/4.
+  const auto out = run_trials("lr1", 300, 20'000);
+  const auto ci = stats::wilson(static_cast<std::uint64_t>(out.trapped),
+                                static_cast<std::uint64_t>(out.trials));
+  EXPECT_GT(ci.low, 0.25) << "trapped " << out.trapped << "/" << out.trials;
+}
+
+TEST(TrapFig1a, TrappedRunsCycleForever) {
+  const auto out = run_trials("lr1", 60, 40'000);
+  ASSERT_GT(out.trapped, 0);
+  EXPECT_GT(out.min_rounds, 100u);  // thousands of rotations in 40k steps
+}
+
+TEST(TrapFig1a, ScheduleIsFairWhileTrapped) {
+  // Every philosopher acts at least once per rotation; gaps stay bounded by
+  // a few stubbornness budgets.
+  const auto t = graph::fig1a();
+  const auto algo = algos::make_algorithm("lr1");
+  TrapFig1a trap;
+  rng::Rng rng(4242);
+  EngineConfig cfg;
+  cfg.max_steps = 50'000;
+  const auto r = run(*algo, t, trap, rng, cfg);
+  if (trap.trapped()) {
+    EXPECT_EQ(r.total_meals, 0u);
+    EXPECT_LT(r.max_sched_gap, 2'000u);
+  }
+}
+
+TEST(TrapFig1a, DefeatsLr2Too) {
+  // Nobody eats => guest books stay empty => Cond is vacuous: the same
+  // schedule kills LR2 (the paper's Theorem 2 observation). fig1a satisfies
+  // the Theorem 2 premise.
+  const auto out = run_trials("lr2", 200, 20'000);
+  EXPECT_FALSE(out.trapped_but_ate);
+  const auto ci = stats::wilson(static_cast<std::uint64_t>(out.trapped),
+                                static_cast<std::uint64_t>(out.trials));
+  EXPECT_GT(ci.low, 0.25);
+}
+
+TEST(TrapFig1a, FallbackIsFairAndProgresses) {
+  // Failed trials degrade into a fair scheduler under which LR1 progresses.
+  const auto t = graph::fig1a();
+  int failed_trials = 0;
+  int failed_with_meals = 0;
+  for (int i = 0; i < 120; ++i) {
+    const auto algo = algos::make_algorithm("lr1");
+    TrapFig1a trap;
+    rng::Rng rng(static_cast<std::uint64_t>(100 + i));
+    EngineConfig cfg;
+    cfg.max_steps = 40'000;
+    const auto r = run(*algo, t, trap, rng, cfg);
+    if (!trap.trapped()) {
+      ++failed_trials;
+      failed_with_meals += r.total_meals > 0;
+    }
+  }
+  ASSERT_GT(failed_trials, 0);
+  EXPECT_EQ(failed_with_meals, failed_trials);
+}
+
+TEST(TrapFig1a, CannotTrapGdp1) {
+  // Scheduling GDP1 with the LR-shaped trap makes no sense structurally —
+  // the trap machine immediately fails over to the fair fallback, under
+  // which GDP1 progresses (Theorem 3).
+  const auto t = graph::fig1a();
+  const auto algo = algos::make_algorithm("gdp1");
+  TrapFig1a trap;
+  rng::Rng rng(77);
+  EngineConfig cfg;
+  cfg.max_steps = 60'000;
+  const auto r = run(*algo, t, trap, rng, cfg);
+  EXPECT_GT(r.total_meals, 0u);
+}
+
+TEST(TrapFig1a, StubbornnessBudgetGrowsFairly) {
+  // With a tiny base budget, setup fails more often but still never yields
+  // a trapped-and-ate run.
+  const auto t = graph::fig1a();
+  int trapped = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto algo = algos::make_algorithm("lr1");
+    TrapFig1a trap(TrapFig1a::Config{.stubborn_base = 2, .stubborn_inc = 1});
+    rng::Rng rng(static_cast<std::uint64_t>(31 + i));
+    EngineConfig cfg;
+    cfg.max_steps = 20'000;
+    const auto r = run(*algo, t, trap, rng, cfg);
+    if (trap.trapped()) {
+      EXPECT_EQ(r.total_meals, 0u);
+      ++trapped;
+    }
+  }
+  EXPECT_GT(trapped, 0);
+}
+
+}  // namespace
+}  // namespace gdp::sim
