@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI entry point: release configure+build+ctest, then an ASan/UBSan pass.
+# Usage: ./ci.sh [--no-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+SANITIZE=1
+[[ "${1:-}" == "--no-sanitize" ]] && SANITIZE=0
+
+run_pass() {
+  local name="$1"; shift
+  echo "=== ${name}: configure ==="
+  cmake -B "build/${name}" -S . "$@"
+  echo "=== ${name}: build ==="
+  cmake --build "build/${name}" -j "${JOBS}"
+  echo "=== ${name}: ctest ==="
+  ctest --test-dir "build/${name}" --output-on-failure -j "${JOBS}"
+}
+
+run_pass release -DCMAKE_BUILD_TYPE=Release
+
+# Debug pass keeps the GDP_DCHECK invariants live (NDEBUG strips them in
+# Release and RelWithDebInfo).
+run_pass debug -DCMAKE_BUILD_TYPE=Debug
+
+if [[ "${SANITIZE}" == 1 ]]; then
+  run_pass asan-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGDP_SANITIZE=ON
+fi
+
+echo "=== CI green ==="

@@ -62,8 +62,11 @@ class CheckMessage {
   } while (false)
 
 #ifdef NDEBUG
-#define GDP_DCHECK(cond) \
-  do {                   \
+// sizeof keeps variables used only in debug checks "odr-used" enough to
+// silence -Wunused without evaluating the condition.
+#define GDP_DCHECK(cond)           \
+  do {                             \
+    (void)sizeof((cond) ? 1 : 0);  \
   } while (false)
 #else
 #define GDP_DCHECK(cond) GDP_CHECK(cond)
