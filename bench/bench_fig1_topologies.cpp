@@ -4,16 +4,17 @@
 // 6 forks. 16 philosophers, 12 forks. 10 philosophers, 9 forks."
 //
 // We run every algorithm on every Figure-1 system under a maximally fair
-// scheduler and report meals, time-to-first-meal, whether everyone ate, and
-// deadlocks. Expected shape: GDP1/GDP2 serve all four systems; the ticket
-// baseline deadlocks off the ring; LR1/LR2 also progress under *benign*
-// scheduling (their failure needs a malicious adversary — see E2-E5).
+// scheduler (one gdp::exp campaign over the 4 x 7 grid) and report meals,
+// time-to-first-meal, whether everyone ate, and deadlocks. Expected shape:
+// GDP1/GDP2 serve all four systems; the ticket baseline deadlocks off the
+// ring; LR1/LR2 also progress under *benign* scheduling (their failure
+// needs a malicious adversary — see E2-E5).
 #include "bench_util.hpp"
 
 #include "gdp/common/strings.hpp"
+#include "gdp/exp/runner.hpp"
 #include "gdp/graph/algorithms.hpp"
 #include "gdp/graph/builders.hpp"
-#include "gdp/stats/jain.hpp"
 
 using namespace gdp;
 
@@ -22,11 +23,17 @@ int main() {
                 "Figure 1 (four example generalized dining-philosopher systems)",
                 "GDP1/GDP2 make progress and feed everyone on all four systems");
 
-  const graph::Topology systems[] = {graph::fig1a(), graph::fig1b(), graph::fig1c(),
-                                     graph::fig1d()};
+  exp::CampaignSpec spec;
+  spec.name = "fig1";
+  spec.seed = 1;
+  spec.trials = 1;
+  spec.topologies = {graph::fig1a(), graph::fig1b(), graph::fig1c(), graph::fig1d()};
+  spec.algorithms = {"lr1", "lr2", "gdp1", "gdp2", "gdp2c", "ordered", "ticket"};
+  spec.schedulers = {exp::longest_waiting()};
+  spec.engine.max_steps = 150'000;
 
   stats::Table shape({"system", "phils", "forks", "max fork degree", "cyclomatic", "thm1 premise"});
-  for (const auto& t : systems) {
+  for (const auto& t : spec.topologies) {
     shape.add_row({t.name(), std::to_string(t.num_phils()), std::to_string(t.num_forks()),
                    std::to_string(t.max_degree()), std::to_string(graph::cyclomatic_number(t)),
                    graph::thm1_premise(t) ? "yes" : "no"});
@@ -34,19 +41,19 @@ int main() {
   shape.print();
   std::printf("\n");
 
-  constexpr std::uint64_t kSteps = 150'000;
+  const auto result = exp::run_campaign(spec);
+
   stats::Table table(
       {"system", "algorithm", "meals", "first meal @", "everyone ate", "jain", "deadlock"});
-  for (const auto& t : systems) {
-    for (const std::string name : {"lr1", "lr2", "gdp1", "gdp2", "gdp2c", "ordered", "ticket"}) {
-      const auto r = bench::fair_run(name, t, /*seed=*/1, kSteps);
-      table.add_row({t.name(), name, bench::fmt_u64(r.total_meals),
-                     r.first_meal_step == sim::kNever ? "never"
-                                                      : bench::fmt_u64(r.first_meal_step),
-                     r.everyone_ate() ? "yes" : "NO", format_double(stats::jain_index(r.meals_of), 3),
-                     r.deadlocked ? "DEADLOCK" : "-"});
-    }
-    table.add_rule();
+  for (const auto& c : result.cells) {
+    table.add_row({spec.topologies[c.cell().topology].name(),
+                   spec.algorithms[c.cell().algorithm],
+                   format_double(c.meals().mean(), 0),
+                   c.first_meal().count() == 0 ? "never" : format_double(c.first_meal().mean(), 0),
+                   c.everyone_ate() == c.trials() ? "yes" : "NO",
+                   format_double(c.jain().mean(), 3),
+                   c.deadlocks() > 0 ? "DEADLOCK" : "-"});
+    if (c.cell().algorithm + 1 == spec.algorithms.size()) table.add_rule();
   }
   table.print();
   std::printf("\nNote: LR1/LR2 progress here because the scheduler is benign; their\n"

@@ -5,7 +5,9 @@
 // whose nr is smaller than P1's other fork g. P1 keeps selecting g as first
 // fork, and the scheduler schedules P1's second-fork attempt only when f is
 // held by P2" — GDP1 is not lockout-free; GDP2 adds LR2's machinery and is
-// (Theorem 4). The StarveVictim adversary implements the scenario.
+// (Theorem 4). The StarveVictim adversary implements the scenario; the
+// whole topology x algorithm grid runs as one gdp::exp campaign with P0 as
+// the tracked (victim) philosopher.
 //
 // Expected shape: the victim's max hunger under GDP1 exceeds GDP2c's by
 // orders of magnitude; GDP2c's per-philosopher meal distribution stays
@@ -14,60 +16,39 @@
 #include "bench_util.hpp"
 
 #include "gdp/common/strings.hpp"
+#include "gdp/exp/runner.hpp"
 #include "gdp/graph/builders.hpp"
-#include "gdp/sim/schedulers/starve_victim.hpp"
-#include "gdp/stats/jain.hpp"
-#include "gdp/stats/online.hpp"
 
 using namespace gdp;
-
-namespace {
-
-struct LockoutRow {
-  stats::OnlineStats victim_hunger;
-  stats::OnlineStats victim_meals;
-  stats::OnlineStats total_meals;
-  stats::OnlineStats jain;
-};
-
-LockoutRow measure(const std::string& name, const graph::Topology& t, int trials,
-                   std::uint64_t steps) {
-  LockoutRow row;
-  for (int i = 0; i < trials; ++i) {
-    const auto algo = algos::make_algorithm(name);
-    sim::StarveVictim sched(*algo, sim::StarveVictim::Config{.victim = 0, .hard_cap = 0});
-    rng::Rng rng(static_cast<std::uint64_t>(777 * i + 5));
-    sim::EngineConfig cfg;
-    cfg.max_steps = steps;
-    const auto r = sim::run(*algo, t, sched, rng, cfg);
-    row.victim_hunger.add(static_cast<double>(r.max_hunger_of[0]));
-    row.victim_meals.add(static_cast<double>(r.meals_of[0]));
-    row.total_meals.add(static_cast<double>(r.total_meals));
-    row.jain.add(stats::jain_index(r.meals_of));
-  }
-  return row;
-}
-
-}  // namespace
 
 int main() {
   bench::banner("E7: lockout-freedom under the §5 adversary",
                 "section 5 (GDP1 not lockout-free) + Theorem 4 (GDP2 is)",
                 "victim hunger: gdp1 >> gdp2c; both keep global progress");
 
-  constexpr int kTrials = 12;
-  constexpr std::uint64_t kSteps = 150'000;
+  exp::CampaignSpec spec;
+  spec.name = "lockout";
+  spec.seed = 777;
+  spec.trials = 12;
+  spec.topologies = {graph::classic_ring(3), graph::classic_ring(5), graph::fig1a()};
+  spec.algorithms = {"lr1", "lr2", "gdp1", "gdp2", "gdp2c"};
+  spec.schedulers = {exp::starve_victim(/*victim=*/0)};
+  spec.engine.max_steps = 150'000;
+  spec.tracked = 0;  // the victim
+  const auto result = exp::run_campaign(spec);
 
-  for (const auto& t : {graph::classic_ring(3), graph::classic_ring(5), graph::fig1a()}) {
+  // Cells arrive topology-major, algorithm-minor: one table per topology.
+  auto cell = result.cells.begin();
+  for (const auto& t : spec.topologies) {
     std::printf("topology %s (victim = P0):\n", t.name().c_str());
     stats::Table table({"algorithm", "victim max hunger (mean)", "victim meals (mean)",
                         "total meals (mean)", "jain (mean)"});
-    for (const std::string name : {"lr1", "lr2", "gdp1", "gdp2", "gdp2c"}) {
-      const auto row = measure(name, t, kTrials, kSteps);
-      table.add_row({name, format_double(row.victim_hunger.mean(), 0),
-                     format_double(row.victim_meals.mean(), 1),
-                     format_double(row.total_meals.mean(), 0),
-                     format_double(row.jain.mean(), 3)});
+    for (const std::string& name : spec.algorithms) {
+      table.add_row({name, format_double(cell->tracked_hunger().mean(), 0),
+                     format_double(cell->tracked_meals().mean(), 1),
+                     format_double(cell->meals().mean(), 0),
+                     format_double(cell->jain().mean(), 3)});
+      ++cell;
     }
     table.print();
     std::printf("\n");

@@ -7,37 +7,32 @@
 // m ≈ k is already enough (larger m helps convergence slightly); the
 // courteous variants trade throughput for bounded hunger; steady-state
 // throughput scales with the number of non-conflicting philosopher pairs.
+//
+// All three sweeps run as gdp::exp campaigns on the parallel Runner.
 #include "bench_util.hpp"
 
 #include "gdp/common/strings.hpp"
+#include "gdp/exp/runner.hpp"
 #include "gdp/graph/builders.hpp"
-#include "gdp/stats/online.hpp"
 
 using namespace gdp;
 
 namespace {
 
-struct Sweep {
-  stats::OnlineStats first_meal;
-  stats::OnlineStats meals;
-  stats::OnlineStats max_hunger;
-};
+constexpr std::uint64_t kSteps = 60'000;
 
-Sweep sweep(const std::string& name, const graph::Topology& t, int m, int trials,
-            std::uint64_t steps) {
-  Sweep out;
-  for (int i = 0; i < trials; ++i) {
-    const auto algo = algos::make_algorithm(name, algos::AlgoConfig{.m = m});
-    sim::RandomUniform sched;
-    rng::Rng rng(static_cast<std::uint64_t>(31 * i + 7));
-    sim::EngineConfig cfg;
-    cfg.max_steps = steps;
-    const auto r = sim::run(*algo, t, sched, rng, cfg);
-    if (r.first_meal_step != sim::kNever) out.first_meal.add(static_cast<double>(r.first_meal_step));
-    out.meals.add(static_cast<double>(r.total_meals));
-    out.max_hunger.add(static_cast<double>(r.max_hunger()));
-  }
-  return out;
+exp::CampaignSpec base_spec(std::string name, int trials) {
+  exp::CampaignSpec spec;
+  spec.name = std::move(name);
+  spec.seed = 10;
+  spec.trials = trials;
+  spec.schedulers = {exp::uniform()};
+  spec.engine.max_steps = kSteps;
+  return spec;
+}
+
+std::string first_meal_cell(const exp::CellAggregate& c) {
+  return c.first_meal().count() == 0 ? "never" : format_double(c.first_meal().mean(), 1);
 }
 
 }  // namespace
@@ -48,34 +43,44 @@ int main() {
                 "m ~ k suffices; courtesy costs throughput but bounds hunger");
 
   constexpr int kTrials = 15;
-  constexpr std::uint64_t kSteps = 60'000;
 
   std::printf("(a) numbering range m on fig1a (k = 3):\n");
+  auto range = base_spec("m-range", kTrials);
+  range.topologies = {graph::fig1a()};
+  range.algorithms = {"gdp1"};
+  for (int m : {3, 4, 6, 12, 24, 96}) range.configs.push_back(algos::AlgoConfig{.m = m});
+  const auto range_result = exp::run_campaign(range);
   stats::Table ms({"m", "first meal (mean steps)", "meals / 60k steps", "max hunger"});
-  for (int m : {3, 4, 6, 12, 24, 96}) {
-    const auto s = sweep("gdp1", graph::fig1a(), m, kTrials, kSteps);
-    ms.add_row({std::to_string(m), format_double(s.first_meal.mean(), 1),
-                format_double(s.meals.mean(), 0), format_double(s.max_hunger.mean(), 0)});
+  for (const auto& c : range_result.cells) {
+    ms.add_row({std::to_string(range.configs[c.cell().config].m), first_meal_cell(c),
+                format_double(c.meals().mean(), 0), format_double(c.max_hunger().mean(), 0)});
   }
   ms.print();
 
   std::printf("\n(b) courtesy overhead (m = k), fig1b (12 philosophers):\n");
+  auto overhead = base_spec("courtesy-overhead", kTrials);
+  overhead.topologies = {graph::fig1b()};
+  overhead.algorithms = {"gdp1", "gdp2", "gdp2c", "lr1", "lr2"};
+  const auto overhead_result = exp::run_campaign(overhead);
   stats::Table ov({"algorithm", "meals / 60k steps", "max hunger", "relative throughput"});
-  double base = 0.0;
-  for (const std::string name : {"gdp1", "gdp2", "gdp2c", "lr1", "lr2"}) {
-    const auto s = sweep(name, graph::fig1b(), 0, kTrials, kSteps);
-    if (name == "gdp1") base = s.meals.mean();
-    ov.add_row({name, format_double(s.meals.mean(), 0), format_double(s.max_hunger.mean(), 0),
-                format_double(base > 0 ? s.meals.mean() / base : 0.0, 2)});
+  const double base = overhead_result.at(0).meals().mean();  // gdp1 is cell 0
+  for (const auto& c : overhead_result.cells) {
+    ov.add_row({overhead.algorithms[c.cell().algorithm], format_double(c.meals().mean(), 0),
+                format_double(c.max_hunger().mean(), 0),
+                format_double(base > 0 ? c.meals().mean() / base : 0.0, 2)});
   }
   ov.print();
 
   std::printf("\n(c) scaling with ring size (gdp1, m = k):\n");
+  auto scaling = base_spec("ring-scaling", 8);
+  scaling.algorithms = {"gdp1"};
+  for (int n : {4, 8, 16, 32, 64}) scaling.topologies.push_back(graph::classic_ring(n));
+  const auto scaling_result = exp::run_campaign(scaling);
   stats::Table sc({"ring n", "meals / 60k steps", "meals per phil", "first meal"});
-  for (int n : {4, 8, 16, 32, 64}) {
-    const auto s = sweep("gdp1", graph::classic_ring(n), 0, 8, kSteps);
-    sc.add_row({std::to_string(n), format_double(s.meals.mean(), 0),
-                format_double(s.meals.mean() / n, 1), format_double(s.first_meal.mean(), 1)});
+  for (const auto& c : scaling_result.cells) {
+    const int n = scaling.topologies[c.cell().topology].num_phils();
+    sc.add_row({std::to_string(n), format_double(c.meals().mean(), 0),
+                format_double(c.meals().mean() / n, 1), first_meal_cell(c)});
   }
   sc.print();
   return 0;

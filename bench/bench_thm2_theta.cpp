@@ -13,11 +13,10 @@
 #include "bench_util.hpp"
 
 #include "gdp/common/strings.hpp"
+#include "gdp/exp/runner.hpp"
 #include "gdp/graph/algorithms.hpp"
 #include "gdp/graph/builders.hpp"
 #include "gdp/mdp/fair_progress.hpp"
-#include "gdp/sim/schedulers/trap_fig1a.hpp"
-#include "gdp/stats/ci.hpp"
 
 using namespace gdp;
 
@@ -45,21 +44,21 @@ int main() {
 
   std::printf("\n(b) the fig1a trap (nobody eats => Cond vacuous) against LR2:\n");
   constexpr int kTrials = 300;
-  int trapped = 0;
-  const auto t = graph::fig1a();
-  for (int i = 0; i < kTrials; ++i) {
-    const auto lr2 = algos::make_algorithm("lr2");
-    sim::TrapFig1a trap;
-    rng::Rng rng(static_cast<std::uint64_t>(60'000 + i));
-    sim::EngineConfig cfg;
-    cfg.max_steps = 25'000;
-    const auto r = sim::run(*lr2, t, trap, rng, cfg);
-    trapped += trap.trapped() && r.total_meals == 0;
-  }
-  const auto ci =
-      stats::wilson(static_cast<std::uint64_t>(trapped), static_cast<std::uint64_t>(kTrials));
+  exp::CampaignSpec spec;
+  spec.name = "thm2-fig1a-trap";
+  spec.seed = 60'000;
+  spec.trials = kTrials;
+  spec.topologies = {graph::fig1a()};
+  spec.algorithms = {"lr2"};
+  spec.schedulers = {exp::trap_fig1a()};  // probe: trapped and zero meals
+  spec.engine.max_steps = 25'000;
+  const auto result = exp::run_campaign(spec);
+  const auto& trap = result.at(0);
+  const auto trapped = trap.probe_hits();
+  const auto ci = trap.probe_ci();
   std::printf("  fig1a satisfies the premise (4 edge-disjoint paths between fork pairs)\n");
-  std::printf("  LR2 trapped: %d/%d (%.3f), Wilson 95%% [%.3f, %.3f] — paper bound: positive\n",
-              trapped, kTrials, static_cast<double>(trapped) / kTrials, ci.low, ci.high);
+  std::printf("  LR2 trapped: %llu/%d (%.3f), Wilson 95%% [%.3f, %.3f] — paper bound: positive\n",
+              static_cast<unsigned long long>(trapped), kTrials,
+              static_cast<double>(trapped) / kTrials, ci.low, ci.high);
   return 0;
 }

@@ -1,0 +1,49 @@
+// campaign — declare a grid of experiments, run it on the parallel Runner,
+// print the deterministic aggregate.
+//
+//   campaign [trials] [threads] [--json]
+//
+// The output is a pure function of the spec and the campaign seed — never of
+// the thread count or the host — so CI diffs it against a checked-in golden
+// file (examples/campaign_tiny.golden) to pin the gdp::exp contract.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gdp/exp/runner.hpp"
+#include "gdp/graph/builders.hpp"
+
+using namespace gdp;
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const int trials = positional.empty() ? 4 : std::atoi(positional[0].c_str());
+  const int threads = positional.size() < 2 ? 0 : std::atoi(positional[1].c_str());
+  if (trials < 1 || threads < 0 || positional.size() > 2) {
+    std::fprintf(stderr, "usage: campaign [trials >= 1] [threads >= 0] [--json]\n");
+    return 2;
+  }
+
+  exp::CampaignSpec spec;
+  spec.name = "tiny";
+  spec.seed = 42;
+  spec.trials = trials;
+  spec.topologies = {graph::classic_ring(3), graph::parallel_arcs(3)};
+  spec.algorithms = {"lr1", "gdp1", "gdp2c"};
+  spec.schedulers = {exp::longest_waiting(), exp::uniform()};
+  spec.engine.max_steps = 20'000;
+
+  const auto result = exp::run_campaign(spec, threads);
+  std::fputs((json ? result.json() : result.csv()).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,22 @@
+# ctest helper: run EXE with ARGS, capture stdout, diff against GOLDEN.
+# The campaign example's aggregate output must be a pure function of the
+# spec — any drift (thread-count dependence, wall-clock leakage, format
+# change) fails this test. Regenerate with:
+#   ./build/examples/campaign 4 1 > examples/campaign_tiny.golden
+separate_arguments(ARGS)
+execute_process(
+  COMMAND ${EXE} ${ARGS}
+  OUTPUT_FILE ${OUTPUT}
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "${EXE} ${ARGS} exited with ${status}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUTPUT} ${GOLDEN}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "campaign output ${OUTPUT} differs from golden ${GOLDEN} — the "
+    "gdp::exp determinism contract broke (or the format changed; regenerate "
+    "the golden with: campaign 4 1 > examples/campaign_tiny.golden)")
+endif()

@@ -1,0 +1,122 @@
+// Deterministic aggregation of campaign trials.
+//
+// Workers reduce each RunResult to a TrialOutcome (plain numbers, O(1)
+// memory) and park it at its global trial index; after the pool drains, the
+// outcomes are folded into per-cell aggregates in trial order on one thread.
+// Folding in index order — never in completion order — is what makes the
+// CSV/JSON renderings bit-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gdp/exp/campaign.hpp"
+#include "gdp/stats/ci.hpp"
+#include "gdp/stats/histogram.hpp"
+#include "gdp/stats/online.hpp"
+
+namespace gdp::exp {
+
+/// The per-trial reduction of a RunResult.
+struct TrialOutcome {
+  std::uint64_t steps = 0;
+  std::uint64_t meals = 0;
+  std::uint64_t first_meal = sim::kNever;
+  std::uint64_t max_hunger = 0;
+  std::uint64_t max_sched_gap = 0;
+  /// Metrics of the spec's tracked philosopher (victim analyses).
+  std::uint64_t tracked_meals = 0;
+  std::uint64_t tracked_hunger = 0;
+  /// Jain fairness index of the per-philosopher meal counts.
+  double jain = 1.0;
+  bool everyone_ate = false;
+  bool deadlocked = false;
+  bool probe = false;
+  /// True when the algorithm's validate() rejected the cell's topology
+  /// (spec.skip_invalid); all other fields are meaningless then.
+  bool skipped = false;
+};
+
+/// Reduces a finished run; an out-of-range `tracked` clamps to the run's
+/// last philosopher.
+TrialOutcome summarize(const sim::RunResult& r, PhilId tracked);
+
+class CellAggregate {
+ public:
+  CellAggregate(Cell cell, std::string label);
+
+  void fold(const TrialOutcome& t);
+
+  const Cell& cell() const { return cell_; }
+  const std::string& label() const { return label_; }
+  bool skipped() const { return skipped_; }
+
+  std::uint64_t trials() const { return trials_; }
+  std::uint64_t deadlocks() const { return deadlocks_; }
+  std::uint64_t everyone_ate() const { return everyone_ate_; }
+  std::uint64_t progressed() const { return progressed_; }
+  std::uint64_t probe_hits() const { return probe_hits_; }
+  /// Trials where no meal ever happened (first_meal stats exclude them).
+  std::uint64_t no_meal_trials() const { return no_meal_trials_; }
+
+  const stats::OnlineStats& steps() const { return steps_; }
+  const stats::OnlineStats& meals() const { return meals_; }
+  const stats::OnlineStats& first_meal() const { return first_meal_; }
+  const stats::OnlineStats& max_hunger() const { return max_hunger_; }
+  const stats::OnlineStats& sched_gap() const { return sched_gap_; }
+  const stats::OnlineStats& tracked_meals() const { return tracked_meals_; }
+  const stats::OnlineStats& tracked_hunger() const { return tracked_hunger_; }
+  const stats::OnlineStats& jain() const { return jain_; }
+
+  /// Exact nearest-rank quantile of the per-trial max-hunger samples
+  /// (q in [0, 1]; 0 with no samples). Integer-valued, so bit-stable.
+  double hunger_quantile(double q) const;
+
+  /// Hunger-span distribution for rendering, bucketed over the *observed*
+  /// range [0, max sample] so resolution tracks the data, not the step
+  /// budget. `buckets >= 1`.
+  stats::Histogram hunger_histogram(int buckets = 32) const;
+
+  /// Wilson intervals for the Bernoulli outcomes.
+  stats::Interval everyone_ate_ci(double z = 1.96) const;
+  stats::Interval probe_ci(double z = 1.96) const;
+  stats::Interval deadlock_ci(double z = 1.96) const;
+
+ private:
+  Cell cell_;
+  std::string label_;
+  bool skipped_ = false;
+  std::uint64_t trials_ = 0;
+  std::uint64_t deadlocks_ = 0;
+  std::uint64_t everyone_ate_ = 0;
+  std::uint64_t progressed_ = 0;
+  std::uint64_t probe_hits_ = 0;
+  std::uint64_t no_meal_trials_ = 0;
+  stats::OnlineStats steps_, meals_, first_meal_, max_hunger_, sched_gap_;
+  stats::OnlineStats tracked_meals_, tracked_hunger_, jain_;
+  /// One max-hunger sample per trial; lazily sorted in place on the first
+  /// quantile query after a fold (quantiles are order-independent).
+  mutable std::vector<std::uint64_t> hunger_samples_;
+  mutable bool hunger_sorted_ = true;
+};
+
+struct CampaignResult {
+  std::string name;
+  std::uint64_t seed = 0;
+  int trials_per_cell = 0;
+  std::vector<CellAggregate> cells;
+
+  /// Deterministic renderings: bit-identical for the same spec and seed
+  /// regardless of Runner thread count. No wall-clock or host data.
+  std::string csv() const;
+  std::string json() const;
+
+  void write_csv(const std::string& path) const;
+  void write_json(const std::string& path) const;
+
+  /// The aggregate for a cell index (checked).
+  const CellAggregate& at(std::size_t cell_index) const;
+};
+
+}  // namespace gdp::exp

@@ -30,9 +30,14 @@ struct Channel {
 };
 
 struct Shared {
-  explicit Shared(const graph::Topology& t) : topology(t) {}
+  explicit Shared(const graph::Topology& t)
+      : topology(t), pools(static_cast<std::size_t>(t.num_phils())) {}
   const graph::Topology& topology;
   std::deque<Channel> channels;
+  /// Per-agent offer storage. Lives here — not in the Agent — because
+  /// channel offer lists keep raw pointers into it: an agent that exits
+  /// early must not free offers its peers may still scan.
+  std::vector<std::deque<Offer>> pools;
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> rendezvous{0};
   std::atomic<std::uint64_t> violations{0};
@@ -56,7 +61,8 @@ class Agent {
         rng_(seed),
         syncs_(syncs_out),
         left_(shared.topology.left_of(id)),
-        right_(shared.topology.right_of(id)) {}
+        right_(shared.topology.right_of(id)),
+        pool_(shared.pools[static_cast<std::size_t>(id)]) {}
 
   void run() {
     Offer* mine = nullptr;  // currently posted offer, if any
@@ -165,7 +171,7 @@ class Agent {
   rng::Rng rng_;
   std::uint64_t& syncs_;
   const ForkId left_, right_;
-  std::deque<Offer> pool_;  // stable addresses; offers may outlive attempts
+  std::deque<Offer>& pool_;  // stable addresses in Shared; outlives every agent
 };
 
 }  // namespace

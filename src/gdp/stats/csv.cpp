@@ -5,7 +5,7 @@
 
 namespace gdp::stats {
 
-std::string CsvWriter::escape(const std::string& cell) {
+std::string csv_escape(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
   std::string quoted = "\"";
   for (char c : cell) {
@@ -26,7 +26,7 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
                 "CSV row has " << cells.size() << " cells, expected " << columns_);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i > 0) out_ << ',';
-    out_ << escape(cells[i]);
+    out_ << csv_escape(cells[i]);
   }
   out_ << '\n';
 }

@@ -8,6 +8,10 @@
 
 namespace gdp::stats {
 
+/// RFC-4180 quoting: wraps the cell in quotes (doubling inner quotes) when
+/// it contains a comma, quote or newline; returns it unchanged otherwise.
+std::string csv_escape(const std::string& cell);
+
 class CsvWriter {
  public:
   /// Opens (truncates) `path` and writes the header row. Throws on failure.
@@ -19,7 +23,6 @@ class CsvWriter {
   void add_row(const std::vector<double>& values, int digits = 6);
 
  private:
-  static std::string escape(const std::string& cell);
   std::ofstream out_;
   std::size_t columns_;
 };

@@ -162,5 +162,53 @@ TEST(Scripted, FallsThroughAfterScript) {
   EXPECT_EQ(rng.pending(), 0u);
 }
 
+TEST(Scripted, PendingCountsDownPerForcedDraw) {
+  ScriptedRng rng(1);
+  rng.force_side(Side::kLeft);
+  rng.force_int(2);
+  rng.force_side(Side::kRight);
+  EXPECT_EQ(rng.pending(), 3u);
+  (void)rng.choose_side(0.5);
+  EXPECT_EQ(rng.pending(), 2u);
+  (void)rng.uniform_int(1, 3);
+  EXPECT_EQ(rng.pending(), 1u);
+  (void)rng.choose_side(0.5);
+  EXPECT_EQ(rng.pending(), 0u);
+  EXPECT_FALSE(rng.fell_through());
+}
+
+TEST(Scripted, ExhaustedScriptMatchesFreshFallbackRng) {
+  // Forced draws never touch the fallback stream, so after exhaustion the
+  // scripted source continues exactly like a fresh Rng with the same seed.
+  ScriptedRng scripted(4242);
+  scripted.force_side(Side::kRight);
+  scripted.force_int(3);
+  (void)scripted.choose_side(0.5);
+  (void)scripted.uniform_int(1, 6);
+  EXPECT_FALSE(scripted.fell_through());
+
+  Rng plain(4242);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(scripted.choose_side(0.3), plain.choose_side(0.3)) << i;
+    ASSERT_EQ(scripted.uniform_int(1, 10), plain.uniform_int(1, 10)) << i;
+    ASSERT_EQ(scripted.bernoulli(0.6), plain.bernoulli(0.6)) << i;
+    ASSERT_EQ(scripted.next_u64(), plain.next_u64()) << i;
+  }
+  EXPECT_TRUE(scripted.fell_through());
+}
+
+TEST(Scripted, UnscriptableDrawsBypassThePendingScript) {
+  // Only choose_side/uniform_int can be forced; bernoulli and next_u64 go
+  // straight to the fallback and must not consume (or trip over) the queue.
+  ScriptedRng rng(7);
+  rng.force_side(Side::kRight);
+  (void)rng.bernoulli(0.5);
+  (void)rng.next_u64();
+  EXPECT_EQ(rng.pending(), 1u);
+  EXPECT_TRUE(rng.fell_through());  // the bypassing draws used the fallback
+  EXPECT_EQ(rng.choose_side(0.5), Side::kRight);
+  EXPECT_EQ(rng.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace gdp::rng

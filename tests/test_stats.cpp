@@ -34,6 +34,41 @@ TEST(Online, EmptyIsSafe) {
   EXPECT_EQ(s.sem(), 0.0);
 }
 
+TEST(Online, SingleSampleHasZeroSpread) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sem(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Online, AllEqualSamplesHaveZeroVariance) {
+  OnlineStats s;
+  for (int i = 0; i < 100; ++i) s.add(-7.25);
+  EXPECT_DOUBLE_EQ(s.mean(), -7.25);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), s.max());
+}
+
+TEST(Online, MergeWithEmptyIsIdentity) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+  EXPECT_DOUBLE_EQ(b.max(), 2.0);
+}
+
 TEST(Online, MergeEqualsConcatenation) {
   OnlineStats a, b, all;
   for (int i = 0; i < 50; ++i) {
@@ -67,6 +102,31 @@ TEST(Wilson, EdgeCases) {
   EXPECT_DOUBLE_EQ(all.high, 1.0);
 }
 
+TEST(Wilson, SingleTrialStaysInUnitInterval) {
+  for (const auto ci : {wilson(0, 1), wilson(1, 1)}) {
+    EXPECT_GE(ci.low, 0.0);
+    EXPECT_LE(ci.high, 1.0);
+    EXPECT_LE(ci.low, ci.high);
+  }
+  EXPECT_TRUE(wilson(0, 1).contains(0.0));
+  EXPECT_TRUE(wilson(1, 1).contains(1.0));
+  // One observation says very little: the interval must stay wide.
+  EXPECT_GT(wilson(1, 1).high - wilson(1, 1).low, 0.5);
+}
+
+TEST(Normal, IntervalShapes) {
+  const auto ci = normal(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(ci.low, 10.0 - 1.96 * 2.0);
+  EXPECT_DOUBLE_EQ(ci.high, 10.0 + 1.96 * 2.0);
+  EXPECT_TRUE(ci.contains(10.0));
+  // Zero sem (0 or 1 samples upstream) degenerates to a point.
+  const auto point = normal(4.0, 0.0);
+  EXPECT_DOUBLE_EQ(point.low, 4.0);
+  EXPECT_DOUBLE_EQ(point.high, 4.0);
+  EXPECT_TRUE(point.contains(4.0));
+  EXPECT_FALSE(point.contains(4.0001));
+}
+
 TEST(Wilson, TightensWithSamples) {
   const auto small = wilson(10, 20);
   const auto large = wilson(1000, 2000);
@@ -89,6 +149,44 @@ TEST(HistogramTest, QuantilesInterpolate) {
   EXPECT_NEAR(h.quantile(0.0), 0.0, 10.0);
   EXPECT_NEAR(h.quantile(1.0), 100.0, 10.0);
   EXPECT_LE(h.quantile(0.25), h.quantile(0.75));
+}
+
+TEST(HistogramTest, EmptyHistogramIsSafe) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.count(), 0u);
+  for (double q : {0.0, 0.5, 1.0}) EXPECT_DOUBLE_EQ(h.quantile(q), 0.0);  // lo
+  EXPECT_EQ(h.render(), "(empty histogram)\n");
+}
+
+TEST(HistogramTest, SingleSampleQuantilesStayInItsBucket) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(7.0);  // bucket [6, 8)
+  EXPECT_EQ(h.count(), 1u);
+  for (double q : {0.01, 0.5, 1.0}) {
+    EXPECT_GE(h.quantile(q), 6.0);
+    EXPECT_LE(h.quantile(q), 8.0);
+  }
+}
+
+TEST(HistogramTest, AllEqualSamplesConcentrateInOneBucket) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 50; ++i) h.add(42.0);
+  EXPECT_EQ(h.bucket_count(4), 50u);  // [40, 50)
+  EXPECT_GE(h.quantile(0.5), 40.0);
+  EXPECT_LE(h.quantile(0.99), 50.0);
+  // quantile(0) sits at the bucket's left edge, quantile(1) at its right.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 40.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0);
+}
+
+TEST(HistogramTest, SingleBucketCoversEverything) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(0.2);
+  h.add(0.9);
+  h.add(123.0);  // clamped
+  EXPECT_EQ(h.bucket_count(0), 3u);
+  EXPECT_GE(h.quantile(0.5), 0.0);
+  EXPECT_LE(h.quantile(0.5), 1.0);
 }
 
 TEST(HistogramTest, ClampsOutliers) {
@@ -148,6 +246,14 @@ TEST(Csv, EscapesAndWrites) {
   EXPECT_NE(all.find("\"quote\"\"inside\""), std::string::npos);
   EXPECT_NE(all.find("1.50,2.25"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(Csv, EscapeIsSharedAndRfc4180Shaped) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(csv_escape("quote\"inside"), "\"quote\"\"inside\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape(""), "");
 }
 
 TEST(Csv, RejectsWrongArity) {
