@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hypergraph.dir/bench_hypergraph.cpp.o"
+  "CMakeFiles/bench_hypergraph.dir/bench_hypergraph.cpp.o.d"
+  "bench_hypergraph"
+  "bench_hypergraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hypergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lockout.dir/bench_lockout.cpp.o"
+  "CMakeFiles/bench_lockout.dir/bench_lockout.cpp.o.d"
+  "bench_lockout"
+  "bench_lockout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lockout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

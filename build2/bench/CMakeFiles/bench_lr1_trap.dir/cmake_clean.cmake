@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lr1_trap.dir/bench_lr1_trap.cpp.o"
+  "CMakeFiles/bench_lr1_trap.dir/bench_lr1_trap.cpp.o.d"
+  "bench_lr1_trap"
+  "bench_lr1_trap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lr1_trap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

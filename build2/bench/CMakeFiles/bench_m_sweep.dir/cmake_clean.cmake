@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m_sweep.dir/bench_m_sweep.cpp.o"
+  "CMakeFiles/bench_m_sweep.dir/bench_m_sweep.cpp.o.d"
+  "bench_m_sweep"
+  "bench_m_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

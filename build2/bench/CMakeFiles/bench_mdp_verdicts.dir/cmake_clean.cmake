@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mdp_verdicts.dir/bench_mdp_verdicts.cpp.o"
+  "CMakeFiles/bench_mdp_verdicts.dir/bench_mdp_verdicts.cpp.o.d"
+  "bench_mdp_verdicts"
+  "bench_mdp_verdicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mdp_verdicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

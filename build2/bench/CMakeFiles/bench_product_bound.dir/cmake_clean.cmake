@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_product_bound.dir/bench_product_bound.cpp.o"
+  "CMakeFiles/bench_product_bound.dir/bench_product_bound.cpp.o.d"
+  "bench_product_bound"
+  "bench_product_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_product_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_symmetry_break.dir/bench_symmetry_break.cpp.o"
+  "CMakeFiles/bench_symmetry_break.dir/bench_symmetry_break.cpp.o.d"
+  "bench_symmetry_break"
+  "bench_symmetry_break.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_symmetry_break.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_symmetry_break.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_ring_chord.dir/bench_thm1_ring_chord.cpp.o"
+  "CMakeFiles/bench_thm1_ring_chord.dir/bench_thm1_ring_chord.cpp.o.d"
+  "bench_thm1_ring_chord"
+  "bench_thm1_ring_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_ring_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

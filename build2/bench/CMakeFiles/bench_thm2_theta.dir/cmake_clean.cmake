@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_theta.dir/bench_thm2_theta.cpp.o"
+  "CMakeFiles/bench_thm2_theta.dir/bench_thm2_theta.cpp.o.d"
+  "bench_thm2_theta"
+  "bench_thm2_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

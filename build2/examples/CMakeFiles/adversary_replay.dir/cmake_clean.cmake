@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_replay.dir/adversary_replay.cpp.o"
+  "CMakeFiles/adversary_replay.dir/adversary_replay.cpp.o.d"
+  "adversary_replay"
+  "adversary_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

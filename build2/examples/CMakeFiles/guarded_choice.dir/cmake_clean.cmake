@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarded_choice.dir/guarded_choice.cpp.o"
+  "CMakeFiles/guarded_choice.dir/guarded_choice.cpp.o.d"
+  "guarded_choice"
+  "guarded_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarded_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

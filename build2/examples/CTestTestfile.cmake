@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build2/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build2/examples/quickstart" "gdp1" "1")
+set_tests_properties(example_quickstart PROPERTIES  LABELS "example" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_model_check "/root/repo/build2/examples/model_check" "lr1" "parallel3" "200000")
+set_tests_properties(example_model_check PROPERTIES  LABELS "example" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_guarded_choice "/root/repo/build2/examples/guarded_choice" "fig1a" "2000")
+set_tests_properties(example_guarded_choice PROPERTIES  LABELS "example" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_topology "/root/repo/build2/examples/custom_topology" "3" "0-1,1-2,2-0" "20000")
+set_tests_properties(example_custom_topology PROPERTIES  LABELS "example" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adversary_replay "/root/repo/build2/examples/adversary_replay")
+set_tests_properties(example_adversary_replay PROPERTIES  LABELS "example" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_campaign "/root/repo/build2/examples/campaign" "2" "4" "--json")
+set_tests_properties(example_campaign PROPERTIES  LABELS "example" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_campaign_golden_t1 "/usr/bin/cmake" "-D" "EXE=/root/repo/build2/examples/campaign" "-D" "ARGS=4 1" "-D" "OUTPUT=/root/repo/build2/examples/campaign_tiny.t1.csv" "-D" "GOLDEN=/root/repo/examples/campaign_tiny.golden" "-P" "/root/repo/examples/check_golden.cmake")
+set_tests_properties(example_campaign_golden_t1 PROPERTIES  LABELS "example" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_campaign_golden_t8 "/usr/bin/cmake" "-D" "EXE=/root/repo/build2/examples/campaign" "-D" "ARGS=4 8" "-D" "OUTPUT=/root/repo/build2/examples/campaign_tiny.t8.csv" "-D" "GOLDEN=/root/repo/examples/campaign_tiny.golden" "-P" "/root/repo/examples/check_golden.cmake")
+set_tests_properties(example_campaign_golden_t8 PROPERTIES  LABELS "example" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")

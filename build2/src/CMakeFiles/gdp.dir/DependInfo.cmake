@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gdp/algos/algorithm.cpp" "src/CMakeFiles/gdp.dir/gdp/algos/algorithm.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/algos/algorithm.cpp.o.d"
+  "/root/repo/src/gdp/algos/central_arbiter.cpp" "src/CMakeFiles/gdp.dir/gdp/algos/central_arbiter.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/algos/central_arbiter.cpp.o.d"
+  "/root/repo/src/gdp/algos/colored.cpp" "src/CMakeFiles/gdp.dir/gdp/algos/colored.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/algos/colored.cpp.o.d"
+  "/root/repo/src/gdp/algos/gdp1.cpp" "src/CMakeFiles/gdp.dir/gdp/algos/gdp1.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/algos/gdp1.cpp.o.d"
+  "/root/repo/src/gdp/algos/gdp2.cpp" "src/CMakeFiles/gdp.dir/gdp/algos/gdp2.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/algos/gdp2.cpp.o.d"
+  "/root/repo/src/gdp/algos/gdp_hyper.cpp" "src/CMakeFiles/gdp.dir/gdp/algos/gdp_hyper.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/algos/gdp_hyper.cpp.o.d"
+  "/root/repo/src/gdp/algos/lr1.cpp" "src/CMakeFiles/gdp.dir/gdp/algos/lr1.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/algos/lr1.cpp.o.d"
+  "/root/repo/src/gdp/algos/lr2.cpp" "src/CMakeFiles/gdp.dir/gdp/algos/lr2.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/algos/lr2.cpp.o.d"
+  "/root/repo/src/gdp/algos/ordered_forks.cpp" "src/CMakeFiles/gdp.dir/gdp/algos/ordered_forks.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/algos/ordered_forks.cpp.o.d"
+  "/root/repo/src/gdp/algos/registry.cpp" "src/CMakeFiles/gdp.dir/gdp/algos/registry.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/algos/registry.cpp.o.d"
+  "/root/repo/src/gdp/algos/ticket.cpp" "src/CMakeFiles/gdp.dir/gdp/algos/ticket.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/algos/ticket.cpp.o.d"
+  "/root/repo/src/gdp/common/strings.cpp" "src/CMakeFiles/gdp.dir/gdp/common/strings.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/common/strings.cpp.o.d"
+  "/root/repo/src/gdp/graph/algorithms.cpp" "src/CMakeFiles/gdp.dir/gdp/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/graph/algorithms.cpp.o.d"
+  "/root/repo/src/gdp/graph/builders.cpp" "src/CMakeFiles/gdp.dir/gdp/graph/builders.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/graph/builders.cpp.o.d"
+  "/root/repo/src/gdp/graph/dot.cpp" "src/CMakeFiles/gdp.dir/gdp/graph/dot.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/graph/dot.cpp.o.d"
+  "/root/repo/src/gdp/graph/hypergraph.cpp" "src/CMakeFiles/gdp.dir/gdp/graph/hypergraph.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/graph/hypergraph.cpp.o.d"
+  "/root/repo/src/gdp/graph/topology.cpp" "src/CMakeFiles/gdp.dir/gdp/graph/topology.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/graph/topology.cpp.o.d"
+  "/root/repo/src/gdp/mdp/chain_analysis.cpp" "src/CMakeFiles/gdp.dir/gdp/mdp/chain_analysis.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/mdp/chain_analysis.cpp.o.d"
+  "/root/repo/src/gdp/mdp/end_components.cpp" "src/CMakeFiles/gdp.dir/gdp/mdp/end_components.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/mdp/end_components.cpp.o.d"
+  "/root/repo/src/gdp/mdp/explore.cpp" "src/CMakeFiles/gdp.dir/gdp/mdp/explore.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/mdp/explore.cpp.o.d"
+  "/root/repo/src/gdp/mdp/fair_progress.cpp" "src/CMakeFiles/gdp.dir/gdp/mdp/fair_progress.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/mdp/fair_progress.cpp.o.d"
+  "/root/repo/src/gdp/mdp/witness.cpp" "src/CMakeFiles/gdp.dir/gdp/mdp/witness.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/mdp/witness.cpp.o.d"
+  "/root/repo/src/gdp/pi/guarded_choice.cpp" "src/CMakeFiles/gdp.dir/gdp/pi/guarded_choice.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/pi/guarded_choice.cpp.o.d"
+  "/root/repo/src/gdp/rng/rng.cpp" "src/CMakeFiles/gdp.dir/gdp/rng/rng.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/rng/rng.cpp.o.d"
+  "/root/repo/src/gdp/rng/scripted.cpp" "src/CMakeFiles/gdp.dir/gdp/rng/scripted.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/rng/scripted.cpp.o.d"
+  "/root/repo/src/gdp/runtime/runtime.cpp" "src/CMakeFiles/gdp.dir/gdp/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/runtime/runtime.cpp.o.d"
+  "/root/repo/src/gdp/sim/engine.cpp" "src/CMakeFiles/gdp.dir/gdp/sim/engine.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/sim/engine.cpp.o.d"
+  "/root/repo/src/gdp/sim/schedulers/basic.cpp" "src/CMakeFiles/gdp.dir/gdp/sim/schedulers/basic.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/sim/schedulers/basic.cpp.o.d"
+  "/root/repo/src/gdp/sim/schedulers/eat_avoider.cpp" "src/CMakeFiles/gdp.dir/gdp/sim/schedulers/eat_avoider.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/sim/schedulers/eat_avoider.cpp.o.d"
+  "/root/repo/src/gdp/sim/schedulers/starve_victim.cpp" "src/CMakeFiles/gdp.dir/gdp/sim/schedulers/starve_victim.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/sim/schedulers/starve_victim.cpp.o.d"
+  "/root/repo/src/gdp/sim/schedulers/trap_fig1a.cpp" "src/CMakeFiles/gdp.dir/gdp/sim/schedulers/trap_fig1a.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/sim/schedulers/trap_fig1a.cpp.o.d"
+  "/root/repo/src/gdp/sim/state.cpp" "src/CMakeFiles/gdp.dir/gdp/sim/state.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/sim/state.cpp.o.d"
+  "/root/repo/src/gdp/sim/step.cpp" "src/CMakeFiles/gdp.dir/gdp/sim/step.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/sim/step.cpp.o.d"
+  "/root/repo/src/gdp/stats/ci.cpp" "src/CMakeFiles/gdp.dir/gdp/stats/ci.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/stats/ci.cpp.o.d"
+  "/root/repo/src/gdp/stats/csv.cpp" "src/CMakeFiles/gdp.dir/gdp/stats/csv.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/stats/csv.cpp.o.d"
+  "/root/repo/src/gdp/stats/histogram.cpp" "src/CMakeFiles/gdp.dir/gdp/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/stats/histogram.cpp.o.d"
+  "/root/repo/src/gdp/stats/jain.cpp" "src/CMakeFiles/gdp.dir/gdp/stats/jain.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/stats/jain.cpp.o.d"
+  "/root/repo/src/gdp/stats/online.cpp" "src/CMakeFiles/gdp.dir/gdp/stats/online.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/stats/online.cpp.o.d"
+  "/root/repo/src/gdp/stats/table.cpp" "src/CMakeFiles/gdp.dir/gdp/stats/table.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/stats/table.cpp.o.d"
+  "/root/repo/src/gdp/trace/ascii.cpp" "src/CMakeFiles/gdp.dir/gdp/trace/ascii.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/trace/ascii.cpp.o.d"
+  "/root/repo/src/gdp/trace/replay.cpp" "src/CMakeFiles/gdp.dir/gdp/trace/replay.cpp.o" "gcc" "src/CMakeFiles/gdp.dir/gdp/trace/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

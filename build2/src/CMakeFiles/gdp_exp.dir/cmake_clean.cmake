@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_exp.dir/gdp/exp/aggregate.cpp.o"
+  "CMakeFiles/gdp_exp.dir/gdp/exp/aggregate.cpp.o.d"
+  "CMakeFiles/gdp_exp.dir/gdp/exp/campaign.cpp.o"
+  "CMakeFiles/gdp_exp.dir/gdp/exp/campaign.cpp.o.d"
+  "CMakeFiles/gdp_exp.dir/gdp/exp/runner.cpp.o"
+  "CMakeFiles/gdp_exp.dir/gdp/exp/runner.cpp.o.d"
+  "libgdp_exp.a"
+  "libgdp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

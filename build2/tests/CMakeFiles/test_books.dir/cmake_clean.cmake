@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_books.dir/test_books.cpp.o"
+  "CMakeFiles/test_books.dir/test_books.cpp.o.d"
+  "test_books"
+  "test_books.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_books.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

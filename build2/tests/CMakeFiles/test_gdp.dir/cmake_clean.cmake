@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gdp.dir/test_gdp.cpp.o"
+  "CMakeFiles/test_gdp.dir/test_gdp.cpp.o.d"
+  "test_gdp"
+  "test_gdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

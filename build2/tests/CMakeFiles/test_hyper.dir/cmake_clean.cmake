@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hyper.dir/test_hyper.cpp.o"
+  "CMakeFiles/test_hyper.dir/test_hyper.cpp.o.d"
+  "test_hyper"
+  "test_hyper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hyper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

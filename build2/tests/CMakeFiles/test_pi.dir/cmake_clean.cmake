@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pi.dir/test_pi.cpp.o"
+  "CMakeFiles/test_pi.dir/test_pi.cpp.o.d"
+  "test_pi"
+  "test_pi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

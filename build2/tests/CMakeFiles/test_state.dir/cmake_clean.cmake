@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state.dir/test_state.cpp.o"
+  "CMakeFiles/test_state.dir/test_state.cpp.o.d"
+  "test_state"
+  "test_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

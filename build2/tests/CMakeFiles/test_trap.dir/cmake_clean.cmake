@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trap.dir/test_trap.cpp.o"
+  "CMakeFiles/test_trap.dir/test_trap.cpp.o.d"
+  "test_trap"
+  "test_trap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
