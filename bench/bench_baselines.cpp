@@ -3,9 +3,14 @@
 // Paper (§1): four standard escapes exist when symmetry or full distribution
 // is dropped — fork ordering, colored alternation, a central monitor, and
 // the n-1 ticket box. We measure all four against GDP on the classic ring
-// and on generalized systems. Expected shape:
-//   ordered    : works everywhere (it is the partial order GDP converges to)
-//                but is not symmetric;
+// and on generalized systems, as one gdp::exp campaign (skip_invalid marks
+// the cells an algorithm's validate() rejects, e.g. colored off an even
+// ring). Deadlock probability depends on scheduling luck, so every cell
+// runs several seeds under both the deterministic longest-waiting scheduler
+// and the uniform random one, and reports the worst outcome. Expected
+// shape:
+//   ordered    : works everywhere (it is the partial order GDP converges
+//                to) but is not symmetric;
 //   colored    : only applicable to even rings (validation rejects the rest);
 //   arbiter    : works everywhere but is centralized (not distributed);
 //   ticket     : safe on the ring, DEADLOCKS on generalized systems — the
@@ -13,10 +18,9 @@
 //   gdp1/gdp2c : symmetric, fully distributed, work everywhere.
 #include "bench_util.hpp"
 
-#include "gdp/common/check.hpp"
 #include "gdp/common/strings.hpp"
+#include "gdp/exp/runner.hpp"
 #include "gdp/graph/builders.hpp"
-#include "gdp/stats/jain.hpp"
 
 using namespace gdp;
 
@@ -25,47 +29,42 @@ int main() {
                 "section 1's four non-symmetric / non-distributed solutions",
                 "ticket deadlocks off the ring; colored only fits even rings; GDP everywhere");
 
-  const graph::Topology systems[] = {graph::classic_ring(6), graph::fig1a(),
-                                     graph::parallel_arcs(4), graph::ring_with_chord(6),
-                                     graph::star(6)};
-  constexpr std::uint64_t kSteps = 120'000;
+  exp::CampaignSpec spec;
+  spec.name = "baselines";
+  spec.seed = 90'000;
+  spec.trials = 5;
+  spec.topologies = {graph::classic_ring(6), graph::fig1a(), graph::parallel_arcs(4),
+                     graph::ring_with_chord(6), graph::star(6)};
+  spec.algorithms = {"ordered", "colored", "arbiter", "ticket", "gdp1", "gdp2c"};
+  spec.schedulers = {exp::longest_waiting(), exp::uniform()};
+  spec.engine.max_steps = 120'000;
+  spec.skip_invalid = true;
+  const auto result = exp::run_campaign(spec);
 
+  const std::size_t schedulers = spec.schedulers.size();
   stats::Table table({"system", "algorithm", "symmetric", "distributed", "result", "meals",
                       "jain"});
-  for (const auto& t : systems) {
-    for (const std::string name : {"ordered", "colored", "arbiter", "ticket", "gdp1", "gdp2c"}) {
-      const auto algo = algos::make_algorithm(name);
-      std::string result;
+  for (std::size_t ti = 0; ti < spec.topologies.size(); ++ti) {
+    for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+      const auto algo = algos::make_algorithm(spec.algorithms[a]);
+      // Cells are topology-major, scheduler innermost.
+      const std::size_t base = (ti * spec.algorithms.size() + a) * schedulers;
+      const auto& lw = result.at(base);       // longest-waiting cell
+      const auto& uni = result.at(base + 1);  // uniform cell
+      std::string verdict;
       std::string meals = "-";
       std::string jain = "-";
-      try {
-        algo->validate(t);
-        // Deadlock probability for ticket depends on scheduling luck; run a
-        // few seeds and report the worst outcome.
-        bool deadlocked = false;
-        sim::RunResult last;
-        for (std::uint64_t seed = 0; seed < 5 && !deadlocked; ++seed) {
-          last = bench::fair_run(name, t, seed, kSteps);
-          deadlocked = last.deadlocked;
-          // LongestWaiting is deterministic; vary with uniform for ticket.
-          if (name == "ticket" && !deadlocked) {
-            const auto a2 = algos::make_algorithm(name);
-            sim::RandomUniform sched;
-            rng::Rng rng(seed);
-            sim::EngineConfig cfg;
-            cfg.max_steps = kSteps;
-            last = sim::run(*a2, t, sched, rng, cfg);
-            deadlocked = last.deadlocked;
-          }
-        }
-        result = deadlocked ? "DEADLOCK" : "ok";
-        meals = bench::fmt_u64(last.total_meals);
-        jain = format_double(stats::jain_index(last.meals_of), 3);
-      } catch (const PreconditionError&) {
-        result = "not applicable";
+      if (lw.skipped()) {
+        verdict = "not applicable";
+      } else {
+        const bool deadlocked = lw.deadlocks() + uni.deadlocks() > 0;
+        verdict = deadlocked ? "DEADLOCK" : "ok";
+        meals = bench::fmt_u64(static_cast<std::uint64_t>(lw.meals().mean()));
+        jain = format_double(lw.jain().mean(), 3);
       }
-      table.add_row({t.name(), name, algo->symmetric() ? "yes" : "no",
-                     algo->fully_distributed() ? "yes" : "no", result, meals, jain});
+      table.add_row({spec.topologies[ti].name(), spec.algorithms[a],
+                     algo->symmetric() ? "yes" : "no",
+                     algo->fully_distributed() ? "yes" : "no", verdict, meals, jain});
     }
     table.add_rule();
   }

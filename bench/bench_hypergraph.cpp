@@ -3,70 +3,121 @@
 // Paper: "Another open problem ... the even more general case of
 // hypergraph-like connection structures, in which a philosopher may need
 // more than two forks to eat." GDP-H extends GDP1's random partial-order
-// idea to d forks (see gdp/algos/gdp_hyper.hpp). Expected shape: progress
-// and (empirically) no starvation on thick rings and random hypergraphs;
-// throughput falls as d grows (longer conflict chains); d = 2 matches GDP1.
+// idea to d forks (see gdp/algos/gdp_hyper.hpp). The GDP-H runner has its
+// own engine, so the trial grids run on the shared work-stealing pool
+// directly (per-trial gdp::exp seeds, index-ordered fold — output identical
+// for any worker count). Expected shape: progress and (empirically) no
+// starvation on thick rings and random hypergraphs; throughput falls as d
+// grows (longer conflict chains); d = 2 matches GDP1.
 #include "bench_util.hpp"
 
 #include "gdp/algos/gdp_hyper.hpp"
+#include "gdp/common/pool.hpp"
 #include "gdp/common/strings.hpp"
+#include "gdp/exp/seeding.hpp"
 #include "gdp/graph/hypergraph.hpp"
 #include "gdp/stats/online.hpp"
 
 using namespace gdp;
+
+namespace {
+
+constexpr std::uint64_t kSteps = 300'000;
+constexpr std::size_t kTrials = 8;
+constexpr std::uint64_t kCampaignSeed = 110'000;
+
+/// Folds one row's parked trial results in index order.
+struct RowFold {
+  stats::OnlineStats meals, first;
+  bool everyone = true;
+  bool deadlock = false;
+
+  void fold(const algos::HyperResult& r) {
+    meals.add(static_cast<double>(r.total_meals));
+    if (r.first_meal_step != ~std::uint64_t{0}) first.add(static_cast<double>(r.first_meal_step));
+    everyone = everyone && r.everyone_ate();
+    deadlock = deadlock || r.deadlocked;
+  }
+};
+
+/// Runs rows x kTrials GDP-H trials on the pool. `topology_of(row, trial)`
+/// lets the random rows sample a fresh hypergraph per trial (built up
+/// front, sequentially, so the grid is identical for any worker count).
+template <typename TopologyOf>
+std::vector<RowFold> run_grid(std::size_t rows, const TopologyOf& topology_of,
+                              std::uint64_t seed_lane) {
+  std::vector<algos::HyperResult> results(rows * kTrials);
+  common::parallel_for(results.size(), /*threads=*/0, [&](std::uint32_t id) {
+    const std::size_t row = id / kTrials;
+    const std::size_t trial = id % kTrials;
+    rng::Rng rng(exp::trial_seed(kCampaignSeed + seed_lane, row, trial));
+    algos::HyperConfig cfg;
+    cfg.max_steps = kSteps;
+    results[id] = algos::run_gdp_hyper(topology_of(row, trial), rng, cfg);
+  });
+  std::vector<RowFold> folds(rows);
+  for (std::size_t row = 0; row < rows; ++row) {
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      folds[row].fold(results[row * kTrials + trial]);
+    }
+  }
+  return folds;
+}
+
+}  // namespace
 
 int main() {
   bench::banner("E11: hypergraph extension (GDP-H)",
                 "section 6 future work (d-fork philosophers)",
                 "progress everywhere; throughput decreases with arity d");
 
-  constexpr std::uint64_t kSteps = 300'000;
-  constexpr int kTrials = 8;
-
   std::printf("(a) thick rings: philosopher i needs forks i..i+d-1 (mod k):\n");
+  const std::vector<std::pair<int, int>> ring_rows = {{8, 2},  {8, 3},  {8, 4}, {8, 5},
+                                                      {12, 3}, {12, 6}, {16, 4}};
+  std::vector<graph::HyperTopology> ring_topologies;
+  for (const auto& [k, d] : ring_rows) ring_topologies.push_back(graph::hyper_ring(k, d));
+  const auto ring_folds = run_grid(
+      ring_rows.size(),
+      [&](std::size_t row, std::size_t) -> const graph::HyperTopology& {
+        return ring_topologies[row];
+      },
+      0);
+
   stats::Table rings({"k", "d", "meals (mean)", "everyone ate", "first meal", "deadlocks"});
-  for (const auto& [k, d] : std::vector<std::pair<int, int>>{
-           {8, 2}, {8, 3}, {8, 4}, {8, 5}, {12, 3}, {12, 6}, {16, 4}}) {
-    stats::OnlineStats meals, first;
-    bool everyone = true;
-    bool deadlock = false;
-    for (int i = 0; i < kTrials; ++i) {
-      rng::Rng rng(static_cast<std::uint64_t>(1000 * k + 10 * d + i));
-      algos::HyperConfig cfg;
-      cfg.max_steps = kSteps;
-      const auto r = algos::run_gdp_hyper(graph::hyper_ring(k, d), rng, cfg);
-      meals.add(static_cast<double>(r.total_meals));
-      if (r.first_meal_step != ~std::uint64_t{0}) first.add(static_cast<double>(r.first_meal_step));
-      everyone = everyone && r.everyone_ate();
-      deadlock = deadlock || r.deadlocked;
-    }
-    rings.add_row({std::to_string(k), std::to_string(d), format_double(meals.mean(), 0),
-                   everyone ? "yes" : "NO", format_double(first.mean(), 1),
-                   deadlock ? "DEADLOCK" : "none"});
+  for (std::size_t row = 0; row < ring_rows.size(); ++row) {
+    const auto& f = ring_folds[row];
+    rings.add_row({std::to_string(ring_rows[row].first), std::to_string(ring_rows[row].second),
+                   format_double(f.meals.mean(), 0), f.everyone ? "yes" : "NO",
+                   format_double(f.first.mean(), 1), f.deadlock ? "DEADLOCK" : "none"});
   }
   rings.print();
 
   std::printf("\n(b) random hypergraphs (k forks, n philosophers, arity d):\n");
-  stats::Table rand_table({"k", "n", "d", "meals (mean)", "everyone ate", "deadlocks"});
+  const std::vector<std::tuple<int, int, int>> rand_rows = {
+      {8, 10, 3}, {10, 14, 3}, {10, 10, 4}, {12, 16, 5}};
+  // A fresh random hypergraph per (row, trial) — deadlock hunting wants
+  // shape diversity, not 8 repeats of one draw.
   rng::Rng topo_rng(42);
-  for (const auto& [k, n, d] : std::vector<std::tuple<int, int, int>>{
-           {8, 10, 3}, {10, 14, 3}, {10, 10, 4}, {12, 16, 5}}) {
-    stats::OnlineStats meals;
-    bool everyone = true;
-    bool deadlock = false;
-    for (int i = 0; i < kTrials; ++i) {
-      const auto t = graph::hyper_random(k, n, d, topo_rng);
-      rng::Rng rng(static_cast<std::uint64_t>(77 * i + 3));
-      algos::HyperConfig cfg;
-      cfg.max_steps = kSteps;
-      const auto r = algos::run_gdp_hyper(t, rng, cfg);
-      meals.add(static_cast<double>(r.total_meals));
-      everyone = everyone && r.everyone_ate();
-      deadlock = deadlock || r.deadlocked;
+  std::vector<graph::HyperTopology> rand_topologies;
+  for (const auto& [k, n, d] : rand_rows) {
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      rand_topologies.push_back(graph::hyper_random(k, n, d, topo_rng));
     }
+  }
+  const auto rand_folds = run_grid(
+      rand_rows.size(),
+      [&](std::size_t row, std::size_t trial) -> const graph::HyperTopology& {
+        return rand_topologies[row * kTrials + trial];
+      },
+      1);
+
+  stats::Table rand_table({"k", "n", "d", "meals (mean)", "everyone ate", "deadlocks"});
+  for (std::size_t row = 0; row < rand_rows.size(); ++row) {
+    const auto& [k, n, d] = rand_rows[row];
+    const auto& f = rand_folds[row];
     rand_table.add_row({std::to_string(k), std::to_string(n), std::to_string(d),
-                        format_double(meals.mean(), 0), everyone ? "yes" : "NO",
-                        deadlock ? "DEADLOCK" : "none"});
+                        format_double(f.meals.mean(), 0), f.everyone ? "yes" : "NO",
+                        f.deadlock ? "DEADLOCK" : "none"});
   }
   rand_table.print();
   return 0;

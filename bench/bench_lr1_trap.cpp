@@ -6,14 +6,16 @@
 // probability 1" and the fairness repair with budgets n_k and success
 // probability (1/4)·prod(1 - p^k) >= 1/16.
 //
-// We run the scripted TrapFig1a adversary many times and report the
-// no-progress frequency with a Wilson 95% interval, sweeping the
-// stubbornness budget. Expected shape: the trapped fraction clears 1/4 for
-// reasonable budgets (our setup is adaptive: first draw free by symmetry),
-// degrades as budgets shrink, and the same adversary defeats LR2.
+// The whole algorithm x stubbornness-budget grid runs as one gdp::exp
+// campaign: each budget is a scheduler variant whose probe counts the runs
+// that ended trapped with zero meals, reported with a Wilson 95% interval.
+// Expected shape: the trapped fraction clears 1/4 for reasonable budgets
+// (our setup is adaptive: first draw free by symmetry), degrades as budgets
+// shrink, and the same adversary defeats LR2.
 #include "bench_util.hpp"
 
 #include "gdp/common/strings.hpp"
+#include "gdp/exp/runner.hpp"
 #include "gdp/graph/builders.hpp"
 #include "gdp/sim/schedulers/trap_fig1a.hpp"
 #include "gdp/stats/ci.hpp"
@@ -22,30 +24,19 @@ using namespace gdp;
 
 namespace {
 
-struct TrapStats {
-  int trials = 0;
-  int trapped = 0;
-  std::uint64_t total_rounds = 0;
-};
-
-TrapStats measure(const std::string& algo_name, int trials, int stubborn_base,
-                  std::uint64_t steps) {
-  TrapStats out;
-  out.trials = trials;
-  const auto t = graph::fig1a();
-  for (int i = 0; i < trials; ++i) {
-    const auto algo = algos::make_algorithm(algo_name);
-    sim::TrapFig1a trap(sim::TrapFig1a::Config{.stubborn_base = stubborn_base, .stubborn_inc = 1});
-    rng::Rng rng(static_cast<std::uint64_t>(40'000 + 977 * i));
-    sim::EngineConfig cfg;
-    cfg.max_steps = steps;
-    const auto r = sim::run(*algo, t, trap, rng, cfg);
-    if (trap.trapped() && r.total_meals == 0) {
-      ++out.trapped;
-      out.total_rounds += trap.rounds();
-    }
-  }
-  return out;
+/// The fig1a trap with an explicit stubbornness budget; the probe counts
+/// "trapped and nobody ever ate".
+exp::SchedulerSpec trap_with_budget(int stubborn_base) {
+  exp::SchedulerSpec spec;
+  spec.name = "trap-fig1a[n0=" + std::to_string(stubborn_base) + "]";
+  spec.make = [stubborn_base](const algos::Algorithm&) {
+    return std::make_unique<sim::TrapFig1a>(
+        sim::TrapFig1a::Config{.stubborn_base = stubborn_base, .stubborn_inc = 1});
+  };
+  spec.probe = [](const sim::Scheduler& sched, const sim::RunResult& r) {
+    return static_cast<const sim::TrapFig1a&>(sched).trapped() && r.total_meals == 0;
+  };
+  return spec;
 }
 
 }  // namespace
@@ -56,23 +47,31 @@ int main() {
                 "P(no-progress) >= 1/4; trapped runs rotate forever; LR2 equally trapped");
 
   constexpr int kTrials = 400;
-  constexpr std::uint64_t kSteps = 25'000;
+  const std::vector<int> budgets = {4, 8, 16, 32};
+
+  exp::CampaignSpec spec;
+  spec.name = "lr1-trap";
+  spec.seed = 40'000;
+  spec.trials = kTrials;
+  spec.topologies = {graph::fig1a()};
+  spec.algorithms = {"lr1", "lr2"};
+  for (const int base : budgets) spec.schedulers.push_back(trap_with_budget(base));
+  spec.engine.max_steps = 25'000;
+  const auto result = exp::run_campaign(spec);
 
   stats::Table table({"algorithm", "stubborn n_0", "trapped", "fraction", "wilson 95%",
-                      "mean rounds", "beats 1/4?"});
-  for (const std::string algo : {"lr1", "lr2"}) {
-    for (int base : {4, 8, 16, 32}) {
-      const auto s = measure(algo, kTrials, base, kSteps);
-      const auto ci = stats::wilson(static_cast<std::uint64_t>(s.trapped),
-                                    static_cast<std::uint64_t>(s.trials));
-      const double fraction = static_cast<double>(s.trapped) / s.trials;
-      const double mean_rounds =
-          s.trapped == 0 ? 0.0 : static_cast<double>(s.total_rounds) / s.trapped;
-      table.add_row({algo, std::to_string(base),
-                     std::to_string(s.trapped) + "/" + std::to_string(s.trials),
+                      "beats 1/4?"});
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    for (std::size_t b = 0; b < budgets.size(); ++b) {
+      const auto& cell = result.at(a * budgets.size() + b);
+      const auto trapped = cell.probe_hits();
+      const auto ci = cell.probe_ci();
+      const double fraction = static_cast<double>(trapped) / kTrials;
+      table.add_row({spec.algorithms[a], std::to_string(budgets[b]),
+                     std::to_string(trapped) + "/" + std::to_string(kTrials),
                      format_double(fraction, 3),
                      "[" + format_double(ci.low, 3) + ", " + format_double(ci.high, 3) + "]",
-                     format_double(mean_rounds, 0), ci.low > 0.25 ? "yes" : "no"});
+                     ci.low > 0.25 ? "yes" : "no"});
     }
     table.add_rule();
   }

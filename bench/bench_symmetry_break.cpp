@@ -4,13 +4,18 @@
 // numbered from [1, m] become pairwise distinct is m!/(m^k (m-k)!), positive
 // whenever m >= k. We verify the closed form against direct sampling and
 // against full GDP1 runs (steps until every ring fork pair is distinct).
-// Expected shape: measured ≈ closed form within CI; larger m converges
-// faster; probability positive for all m >= k.
+// Both trial loops run on the shared work-stealing pool with deterministic
+// gdp::exp trial seeding (results parked at their task index, folded in
+// order — thread-count-independent output). Expected shape: measured ≈
+// closed form within CI; larger m converges faster; probability positive
+// for all m >= k.
 #include "bench_util.hpp"
 
 #include <cmath>
 
+#include "gdp/common/pool.hpp"
 #include "gdp/common/strings.hpp"
+#include "gdp/exp/seeding.hpp"
 #include "gdp/graph/builders.hpp"
 #include "gdp/stats/ci.hpp"
 #include "gdp/stats/online.hpp"
@@ -18,6 +23,8 @@
 using namespace gdp;
 
 namespace {
+
+constexpr std::uint64_t kCampaignSeed = 20'260'613;
 
 double closed_form(int m, int k) {
   double p = 1.0;
@@ -53,21 +60,34 @@ int main() {
                 "Theorem 3's bound p >= m!/(m^k (m-k)!)",
                 "sampled all-distinct frequency matches the closed form; positive for m >= k");
 
-  stats::Table table({"m", "k", "closed form", "sampled", "wilson 95%", "match"});
-  rng::Rng rng(20'260'613);
   constexpr int kTrials = 60'000;
-  for (const auto& [m, k] : std::vector<std::pair<int, int>>{
-           {3, 3}, {4, 3}, {6, 3}, {4, 4}, {6, 4}, {8, 4}, {6, 6}, {10, 6}, {12, 8}}) {
+  const std::vector<std::pair<int, int>> mk_rows = {
+      {3, 3}, {4, 3}, {6, 3}, {4, 4}, {6, 4}, {8, 4}, {6, 6}, {10, 6}, {12, 8}};
+
+  // One task per (m, k) row; each row samples with its own derived seed, so
+  // the table is identical for any worker count.
+  std::vector<int> distinct_of(mk_rows.size(), 0);
+  common::parallel_for(mk_rows.size(), /*threads=*/0, [&](std::uint32_t row) {
+    const auto [m, k] = mk_rows[row];
+    rng::Rng rng(exp::trial_seed(kCampaignSeed, row, 0));
     int distinct = 0;
     std::vector<int> draw(static_cast<std::size_t>(k));
     for (int trial = 0; trial < kTrials; ++trial) {
       bool ok = true;
       for (int i = 0; i < k && ok; ++i) {
         draw[static_cast<std::size_t>(i)] = rng.uniform_int(1, m);
-        for (int j = 0; j < i && ok; ++j) ok = draw[static_cast<std::size_t>(j)] != draw[static_cast<std::size_t>(i)];
+        for (int j = 0; j < i && ok; ++j)
+          ok = draw[static_cast<std::size_t>(j)] != draw[static_cast<std::size_t>(i)];
       }
       distinct += ok;
     }
+    distinct_of[row] = distinct;
+  });
+
+  stats::Table table({"m", "k", "closed form", "sampled", "wilson 95%", "match"});
+  for (std::size_t row = 0; row < mk_rows.size(); ++row) {
+    const auto [m, k] = mk_rows[row];
+    const int distinct = distinct_of[row];
     const double expected = closed_form(m, k);
     const auto ci = stats::wilson(static_cast<std::uint64_t>(distinct),
                                   static_cast<std::uint64_t>(kTrials));
@@ -79,15 +99,27 @@ int main() {
   table.print();
 
   std::printf("\nGDP1 end-to-end: fair-run steps until all ring-adjacent nrs distinct:\n");
+  const std::vector<std::pair<int, int>> ring_rows = {{4, 4},  {4, 8},  {4, 16},
+                                                      {6, 6}, {6, 12}, {6, 24}};
+  constexpr std::size_t kConvTrials = 30;
+  // ring_rows x trials tasks on the pool; per-task results fold in index
+  // order afterwards, so mean/sem are thread-count-independent too.
+  std::vector<std::uint64_t> steps_of(ring_rows.size() * kConvTrials, 0);
+  common::parallel_for(steps_of.size(), /*threads=*/0, [&](std::uint32_t id) {
+    const std::size_t row = id / kConvTrials;
+    const std::size_t trial = id % kConvTrials;
+    const auto [ring, m] = ring_rows[row];
+    steps_of[id] = steps_to_distinct(ring, m, exp::trial_seed(kCampaignSeed + 1, row, trial));
+  });
+
   stats::Table conv({"ring k", "m", "mean steps", "sem"});
-  for (const auto& [ring, m] : std::vector<std::pair<int, int>>{
-           {4, 4}, {4, 8}, {4, 16}, {6, 6}, {6, 12}, {6, 24}}) {
+  for (std::size_t row = 0; row < ring_rows.size(); ++row) {
     stats::OnlineStats st;
-    for (std::uint64_t seed = 0; seed < 30; ++seed) {
-      st.add(static_cast<double>(steps_to_distinct(ring, m, 100 * seed + 1)));
+    for (std::size_t trial = 0; trial < kConvTrials; ++trial) {
+      st.add(static_cast<double>(steps_of[row * kConvTrials + trial]));
     }
-    conv.add_row({std::to_string(ring), std::to_string(m), format_double(st.mean(), 1),
-                  format_double(st.sem(), 1)});
+    conv.add_row({std::to_string(ring_rows[row].first), std::to_string(ring_rows[row].second),
+                  format_double(st.mean(), 1), format_double(st.sem(), 1)});
   }
   conv.print();
   std::printf("\nExpected: larger m (fewer collisions) never slows convergence.\n");

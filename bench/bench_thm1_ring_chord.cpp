@@ -17,24 +17,14 @@
 #include "bench_util.hpp"
 
 #include "gdp/common/strings.hpp"
+#include "gdp/exp/runner.hpp"
 #include "gdp/graph/algorithms.hpp"
 #include "gdp/graph/builders.hpp"
-#include "gdp/mdp/fair_progress.hpp"
-#include "gdp/sim/schedulers/eat_avoider.hpp"
+#include "gdp/mdp/par/par.hpp"
 
 using namespace gdp;
 
 namespace {
-
-std::uint64_t avoider_meals(const std::string& name, const graph::Topology& t,
-                            std::uint64_t steps) {
-  const auto algo = algos::make_algorithm(name);
-  sim::EatAvoider sched(*algo);
-  rng::Rng rng(11);
-  sim::EngineConfig cfg;
-  cfg.max_steps = steps;
-  return sim::run(*algo, t, sched, rng, cfg).total_meals;
-}
 
 std::uint64_t ring_mask(int k) { return (std::uint64_t{1} << k) - 1; }
 
@@ -58,14 +48,17 @@ int main() {
                         {graph::ring_with_chord(4), 4}};
   for (const auto& c : cases) {
     const bool premise = graph::thm1_premise(c.topo).has_value();
-    const auto lr1_model = mdp::explore(*algos::make_algorithm("lr1"), c.topo, 2'000'000);
-    const auto lr1_global = mdp::check_fair_progress(lr1_model);
-    const auto lr1_ring = mdp::check_fair_progress(lr1_model, ring_mask(c.ring_size));
+    mdp::par::CheckOptions opts;
+    const auto lr1_model = mdp::par::explore(*algos::make_algorithm("lr1"), c.topo, opts);
+    const auto lr1_global = mdp::par::check_fair_progress(lr1_model);
+    const auto lr1_ring = mdp::par::check_fair_progress(lr1_model, ring_mask(c.ring_size));
     // GDP1's guarantee (Theorem 3) is *global* progress; subset progress is
     // not promised (GDP1 is not lockout-free, §5), so we report the global
     // verdict for it.
-    const auto gdp1_ring = mdp::check_fair_progress(
-        mdp::explore(*algos::make_algorithm("gdp1"), c.topo, 3'000'000));
+    mdp::par::CheckOptions gdp1_opts;
+    gdp1_opts.max_states = 3'000'000;
+    const auto gdp1_ring = mdp::par::check_fair_progress(*algos::make_algorithm("gdp1"),
+                                                         c.topo, gdp1_opts);
     verdicts.add_row({c.topo.name(), premise ? "yes" : "no",
                       lr1_global.holds() ? "progress" : "FAILS",
                       lr1_ring.holds() ? "progress" : "FAILS",
@@ -75,14 +68,25 @@ int main() {
   }
   verdicts.print();
 
-  std::printf("\n(b) meals conceded to a fair greedy adversary in 120k steps:\n");
+  std::printf("\n(b) meals conceded to a fair greedy adversary in 120k steps\n"
+              "    (one gdp::exp campaign over the topology x algorithm grid):\n");
+  exp::CampaignSpec spec;
+  spec.name = "thm1-eat-avoider";
+  spec.seed = 11;
+  spec.trials = 1;
+  spec.topologies = {graph::classic_ring(6), graph::ring_with_pendant(5),
+                     graph::ring_with_chord(6), graph::fig1a()};
+  spec.algorithms = {"lr1", "gdp1"};
+  spec.schedulers = {exp::eat_avoider()};
+  spec.engine.max_steps = 120'000;
+  const auto result = exp::run_campaign(spec);
+
   stats::Table meals({"topology", "lr1 meals", "gdp1 meals", "lr1 suppressed?"});
-  const graph::Topology sweep[] = {graph::classic_ring(6), graph::ring_with_pendant(5),
-                                   graph::ring_with_chord(6), graph::fig1a()};
-  for (const auto& t : sweep) {
-    const auto lr1 = avoider_meals("lr1", t, 120'000);
-    const auto gdp1 = avoider_meals("gdp1", t, 120'000);
-    meals.add_row({t.name(), bench::fmt_u64(lr1), bench::fmt_u64(gdp1),
+  for (std::size_t ti = 0; ti < spec.topologies.size(); ++ti) {
+    // Cells are topology-major with algorithm next: lr1 first, then gdp1.
+    const auto lr1 = static_cast<std::uint64_t>(result.at(ti * 2).meals().mean());
+    const auto gdp1 = static_cast<std::uint64_t>(result.at(ti * 2 + 1).meals().mean());
+    meals.add_row({spec.topologies[ti].name(), bench::fmt_u64(lr1), bench::fmt_u64(gdp1),
                    lr1 * 2 < gdp1 ? "strongly" : (lr1 < gdp1 ? "somewhat" : "no")});
   }
   meals.print();

@@ -12,28 +12,42 @@
 // (ring+pendant), and GDP2 is certified everywhere small.
 #include "bench_util.hpp"
 
+#include <cstdlib>
+
 #include "gdp/common/strings.hpp"
 #include "gdp/exp/runner.hpp"
 #include "gdp/graph/algorithms.hpp"
 #include "gdp/graph/builders.hpp"
-#include "gdp/mdp/fair_progress.hpp"
+#include "gdp/mdp/par/par.hpp"
 
 using namespace gdp;
 
-int main() {
+int main(int argc, char** argv) {
+  // Model-checker worker threads (0 = hardware concurrency); lets the
+  // speedup of the parallel engine be measured: ./bench_thm2_theta 1 vs N.
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 0;
+  if (threads < 0) {
+    std::fprintf(stderr, "usage: %s [threads >= 0, 0 = hardware]\n", argv[0]);
+    return 1;
+  }
+
   bench::banner("E4: Theorem 2 (theta graphs vs LR2)",
                 "Theorem 2 and Figure 3",
                 "LR2 fails on (and only on) graphs with two nodes joined by >= 3 paths");
+  mdp::par::CheckOptions opts;
+  opts.threads = threads;
+  opts.max_states = 3'000'000;
 
-  std::printf("(a) model-checked verdicts:\n");
+  std::printf("(a) model-checked verdicts (gdp::mdp::par, threads=%d [0=hw]):\n", threads);
   stats::Table verdicts({"topology", "thm2 premise", "lr2 verdict", "gdp2 verdict"});
   const graph::Topology cases[] = {graph::classic_ring(3), graph::ring_with_pendant(3),
                                    graph::parallel_arcs(3), graph::parallel_arcs(4),
                                    graph::theta(1, 1, 2)};
+  const bench::Stopwatch model_check_clock;
   for (const auto& t : cases) {
     const bool premise = graph::thm2_premise(t).has_value();
-    const auto lr2 = mdp::check_fair_progress(*algos::make_algorithm("lr2"), t, 3'000'000);
-    const auto gdp2 = mdp::check_fair_progress(*algos::make_algorithm("gdp2"), t, 3'000'000);
+    const auto lr2 = mdp::par::check_fair_progress(*algos::make_algorithm("lr2"), t, opts);
+    const auto gdp2 = mdp::par::check_fair_progress(*algos::make_algorithm("gdp2"), t, opts);
     auto verdict_str = [](const mdp::FairProgressResult& r) {
       if (r.verdict == mdp::Verdict::kUnknownTruncated) return std::string("unknown");
       return std::string(r.holds() ? "progress" : "FAILS");
@@ -41,6 +55,7 @@ int main() {
     verdicts.add_row({t.name(), premise ? "yes" : "no", verdict_str(lr2), verdict_str(gdp2)});
   }
   verdicts.print();
+  std::printf("  model-check phase wall time: %.2fs\n", model_check_clock.seconds());
 
   std::printf("\n(b) the fig1a trap (nobody eats => Cond vacuous) against LR2:\n");
   constexpr int kTrials = 300;

@@ -1,6 +1,7 @@
 // Shared helpers for the experiment harnesses.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -33,5 +34,17 @@ inline sim::RunResult fair_run(const std::string& algo_name, const graph::Topolo
 }
 
 inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+/// Wall-clock stopwatch for phase timings (speedup reporting).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace gdp::bench

@@ -26,6 +26,16 @@ run_pass debug -DCMAKE_BUILD_TYPE=Debug
 
 if [[ "${SANITIZE}" == 1 ]]; then
   run_pass asan-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGDP_SANITIZE=ON
+
+  # TSan pass over the threaded subsystems only (the parallel model checker
+  # and the campaign runner); ASan and TSan cannot share a build tree.
+  echo "=== tsan: configure ==="
+  cmake -B build/tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGDP_SANITIZE_THREAD=ON \
+    -DGDP_BUILD_BENCH=OFF -DGDP_BUILD_EXAMPLES=OFF
+  echo "=== tsan: build ==="
+  cmake --build build/tsan -j "${JOBS}" --target test_mdp_par test_exp
+  echo "=== tsan: ctest (test_mdp_par + test_exp) ==="
+  ctest --test-dir build/tsan --output-on-failure -R 'test_mdp_par|test_exp'
 fi
 
 echo "=== CI green ==="

@@ -1,7 +1,9 @@
 // Model-check an algorithm on a small topology: decides the paper's
 // progress and lockout-freedom properties under every fair adversary.
+// Runs on the parallel engine (gdp::mdp::par) — results are bit-identical
+// to the sequential checker at every thread count.
 //
-//   $ ./model_check [algorithm] [topology] [max_states]
+//   $ ./model_check [algorithm] [topology] [max_states] [threads]
 //
 // Topologies: ring3 ring4 parallel3 parallel4 fig1a pendant3 chord4 theta112
 #include <cstdio>
@@ -10,8 +12,7 @@
 #include "gdp/algos/algorithm.hpp"
 #include "gdp/graph/builders.hpp"
 #include "gdp/mdp/chain_analysis.hpp"
-#include "gdp/mdp/fair_progress.hpp"
-#include "gdp/mdp/witness.hpp"
+#include "gdp/mdp/par/par.hpp"
 #include "gdp/sim/engine.hpp"
 
 using namespace gdp;
@@ -34,24 +35,38 @@ graph::Topology by_name(const std::string& name) {
 int main(int argc, char** argv) {
   const std::string algo_name = argc > 1 ? argv[1] : "lr1";
   const std::string topo_name = argc > 2 ? argv[2] : "parallel3";
-  const std::size_t max_states = argc > 3 ? std::stoull(argv[3]) : 2'000'000;
+
+  mdp::par::CheckOptions opts;
+  std::size_t max_states = 2'000'000;
+  try {
+    if (argc > 3) max_states = std::stoull(argv[3]);
+    if (argc > 4) opts.threads = std::stoi(argv[4]);
+  } catch (const std::exception&) {
+    opts.threads = -1;  // fall through to the usage check
+  }
+  if (opts.threads < 0) {
+    std::fprintf(stderr, "usage: %s [algo] [topo] [max_states] [threads >= 0, 0 = hardware]\n",
+                 argv[0]);
+    return 1;
+  }
+  opts.max_states = max_states;
 
   const auto t = by_name(topo_name);
   const auto algo = algos::make_algorithm(algo_name);
 
-  std::printf("Model checking %s on %s (state cap %zu)...\n\n", algo_name.c_str(),
-              t.name().c_str(), max_states);
+  std::printf("Model checking %s on %s (state cap %zu, threads %d [0=hw])...\n\n",
+              algo_name.c_str(), t.name().c_str(), max_states, opts.threads);
   mdp::StateIndex index;
-  const auto model = mdp::explore_indexed(*algo, t, max_states, index);
+  const auto model = mdp::par::explore_indexed(*algo, t, index, opts);
   std::printf("explored %zu states (%zu state-action rows)%s\n", model.num_states(),
               model.num_rows(), model.truncated() ? " [TRUNCATED]" : "");
 
-  const auto progress = mdp::check_fair_progress(model);
+  const auto progress = mdp::par::check_fair_progress(model, ~std::uint64_t{0}, opts);
   std::printf("\nProgress (T --fair-->_1 E):\n  %s\n", progress.summary().c_str());
 
   std::printf("\nLockout-freedom (T_i --fair-->_1 E_i):\n");
   for (PhilId v = 0; v < t.num_phils(); ++v) {
-    const auto lf = mdp::check_lockout_freedom(model, v);
+    const auto lf = mdp::par::check_lockout_freedom(model, v, opts);
     std::printf("  P%d: %s\n", v, lf.summary().c_str());
   }
 
@@ -71,7 +86,7 @@ int main(int argc, char** argv) {
   // If the checker found a fair no-progress trap, execute it.
   if (progress.verdict == mdp::Verdict::kProgressFails) {
     std::printf("\nSynthesizing the witness adversary and running it live...\n");
-    const auto mecs = mdp::maximal_end_components(model);
+    const auto mecs = mdp::par::maximal_end_components(model, ~std::uint64_t{0}, opts);
     const auto reached = mdp::reachable_states(model);
     for (const auto& mec : mecs) {
       if (!mec.fair(model.num_phils())) continue;

@@ -1,0 +1,95 @@
+#include "gdp/common/pool.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gdp/common/check.hpp"
+
+namespace gdp::common {
+
+unsigned effective_threads(int requested, std::size_t tasks) {
+  GDP_CHECK_MSG(requested >= 0, "thread count must be >= 0 (0 = hardware concurrency)");
+  unsigned n = requested > 0 ? static_cast<unsigned>(requested)
+                             : std::thread::hardware_concurrency();
+  if (n < 1) n = 1;
+  if (tasks < 1) tasks = 1;
+  if (n > tasks) n = static_cast<unsigned>(tasks);
+  return n;
+}
+
+void run_workers(unsigned threads, const std::function<void(unsigned)>& body) {
+  if (threads <= 1) {
+    body(0);
+    return;
+  }
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        body(w);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t total, int threads, const std::function<void(std::uint32_t)>& fn) {
+  GDP_CHECK_MSG(total < (std::uint64_t{1} << 32), "parallel_for supports < 2^32 tasks, got "
+                                                      << total);
+  if (total == 0) return;
+  const unsigned n = effective_threads(threads, total);
+
+  if (n <= 1) {
+    for (std::uint32_t id = 0; id < total; ++id) fn(id);
+    return;
+  }
+
+  // Contiguous initial shards; the steal protocol rebalances from there.
+  std::vector<StealRange> shards(n);
+  for (unsigned w = 0; w < n; ++w) {
+    shards[w].reset(static_cast<std::uint32_t>(total * w / n),
+                    static_cast<std::uint32_t>(total * (w + 1) / n));
+  }
+
+  std::atomic<bool> abort{false};
+  run_workers(n, [&](unsigned me) {
+    try {
+      while (!abort.load(std::memory_order_relaxed)) {
+        if (const auto id = shards[me].pop_front()) {
+          fn(*id);
+          continue;
+        }
+        // Own shard drained: steal the back half of the fullest victim into
+        // our shard (so others can steal from us in turn).
+        unsigned victim = n;
+        std::uint32_t best = 0;
+        for (unsigned v = 0; v < n; ++v) {
+          if (v == me) continue;
+          const std::uint32_t r = shards[v].remaining();
+          if (r > best) {
+            best = r;
+            victim = v;
+          }
+        }
+        if (victim == n) break;  // everything claimed everywhere
+        if (const auto stolen = shards[victim].steal_half()) {
+          shards[me].reset(stolen->first, stolen->second);
+        }
+      }
+    } catch (...) {
+      abort.store(true, std::memory_order_relaxed);
+      throw;  // run_workers records and rethrows the first one
+    }
+  });
+}
+
+}  // namespace gdp::common

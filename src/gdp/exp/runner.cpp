@@ -1,59 +1,15 @@
 #include "gdp/exp/runner.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <optional>
-#include <thread>
 #include <utility>
 
 #include "gdp/common/check.hpp"
+#include "gdp/common/pool.hpp"
 #include "gdp/exp/seeding.hpp"
 #include "gdp/rng/rng.hpp"
 
 namespace gdp::exp {
 
 namespace {
-
-/// A contiguous range of task ids packed as (head << 32) | tail. The owner
-/// pops from the head, thieves CAS the back half off the tail; a single
-/// 64-bit CAS keeps both linearizable.
-struct alignas(64) Shard {
-  std::atomic<std::uint64_t> range{0};
-
-  static constexpr std::uint64_t pack(std::uint32_t head, std::uint32_t tail) {
-    return (static_cast<std::uint64_t>(head) << 32) | tail;
-  }
-  static constexpr std::uint32_t head(std::uint64_t r) { return static_cast<std::uint32_t>(r >> 32); }
-  static constexpr std::uint32_t tail(std::uint64_t r) { return static_cast<std::uint32_t>(r); }
-
-  std::optional<std::uint32_t> pop_front() {
-    std::uint64_t r = range.load(std::memory_order_acquire);
-    while (head(r) < tail(r)) {
-      if (range.compare_exchange_weak(r, pack(head(r) + 1, tail(r)), std::memory_order_acq_rel)) {
-        return head(r);
-      }
-    }
-    return std::nullopt;
-  }
-
-  /// Steals the back half [tail - k, tail); returns the stolen range.
-  std::optional<std::pair<std::uint32_t, std::uint32_t>> steal_half() {
-    std::uint64_t r = range.load(std::memory_order_acquire);
-    while (head(r) < tail(r)) {
-      const std::uint32_t k = (tail(r) - head(r) + 1) / 2;
-      if (range.compare_exchange_weak(r, pack(head(r), tail(r) - k), std::memory_order_acq_rel)) {
-        return std::make_pair(tail(r) - k, tail(r));
-      }
-    }
-    return std::nullopt;
-  }
-
-  std::uint32_t remaining() const {
-    const std::uint64_t r = range.load(std::memory_order_relaxed);
-    return tail(r) - head(r);
-  }
-};
 
 /// Immutable per-cell execution context resolved before the pool starts.
 struct CellPlan {
@@ -116,71 +72,14 @@ CampaignResult Runner::run(const CampaignSpec& spec) const {
     plans.push_back(std::move(plan));
   }
 
+  // The shared work-stealing pool (gdp/common/pool.hpp) executes the flat
+  // cells x trials task range; every outcome parks at its global index.
   std::vector<TrialOutcome> outcomes(total);
-  auto run_task = [&](std::uint32_t id) {
+  common::parallel_for(total, options_.threads, [&](std::uint32_t id) {
     const std::size_t c = id / trials;
     const int trial = static_cast<int>(id % trials);
     outcomes[id] = execute_trial(spec, plans[c], trial);
-  };
-
-  unsigned n = options_.threads > 0 ? static_cast<unsigned>(options_.threads)
-                                    : std::thread::hardware_concurrency();
-  if (n < 1) n = 1;
-  if (n > total) n = static_cast<unsigned>(total);
-
-  if (n <= 1) {
-    for (std::uint32_t id = 0; id < total; ++id) run_task(id);
-  } else {
-    // Contiguous initial shards; the steal protocol rebalances from there.
-    std::vector<Shard> shards(n);
-    for (unsigned w = 0; w < n; ++w) {
-      const auto lo = static_cast<std::uint32_t>(total * w / n);
-      const auto hi = static_cast<std::uint32_t>(total * (w + 1) / n);
-      shards[w].range.store(Shard::pack(lo, hi), std::memory_order_relaxed);
-    }
-
-    std::atomic<bool> abort{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-
-    auto worker = [&](unsigned me) {
-      try {
-        while (!abort.load(std::memory_order_relaxed)) {
-          if (const auto id = shards[me].pop_front()) {
-            run_task(*id);
-            continue;
-          }
-          // Own shard drained: steal the back half of the fullest victim
-          // into our shard (so others can steal from us in turn).
-          unsigned victim = n;
-          std::uint32_t best = 0;
-          for (unsigned v = 0; v < n; ++v) {
-            if (v == me) continue;
-            const std::uint32_t r = shards[v].remaining();
-            if (r > best) {
-              best = r;
-              victim = v;
-            }
-          }
-          if (victim == n) break;  // everything claimed everywhere
-          if (const auto stolen = shards[victim].steal_half()) {
-            shards[me].range.store(Shard::pack(stolen->first, stolen->second),
-                                   std::memory_order_release);
-          }
-        }
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        abort.store(true, std::memory_order_relaxed);
-      }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(n);
-    for (unsigned w = 0; w < n; ++w) pool.emplace_back(worker, w);
-    for (std::thread& t : pool) t.join();
-    if (first_error) std::rethrow_exception(first_error);
-  }
+  });
 
   // Single-threaded fold in global trial order: the determinism barrier.
   CampaignResult result;

@@ -1,7 +1,8 @@
 // Parallel campaign execution.
 //
 // The Runner flattens the grid into cells x trials independent tasks and
-// executes them on a work-stealing thread pool: each worker owns a
+// executes them on the shared work-stealing pool (gdp/common/pool.hpp, also
+// backing the parallel model checker gdp::mdp::par): each worker owns a
 // contiguous shard of the task range, pops from its front, and when empty
 // steals the back half of the fullest shard. Trials are heavyweight
 // (thousands of simulator steps), so a single packed-range CAS per claim is

@@ -22,12 +22,13 @@ std::string FairProgressResult::summary() const {
   return out.str();
 }
 
-FairProgressResult check_fair_progress(const Model& model, std::uint64_t set_mask) {
+namespace detail {
+
+FairProgressResult verdict_from_mecs(const Model& model, std::uint64_t set_mask,
+                                     const std::vector<EndComponent>& mecs) {
   FairProgressResult result;
   result.avoid_set = set_mask;
   result.num_states = model.num_states();
-
-  const std::vector<EndComponent> mecs = maximal_end_components(model, set_mask);
   result.num_mecs = mecs.size();
 
   const std::vector<bool> reached = reachable_states(model);
@@ -50,6 +51,12 @@ FairProgressResult check_fair_progress(const Model& model, std::uint64_t set_mas
     result.verdict = Verdict::kProgressCertain;
   }
   return result;
+}
+
+}  // namespace detail
+
+FairProgressResult check_fair_progress(const Model& model, std::uint64_t set_mask) {
+  return detail::verdict_from_mecs(model, set_mask, maximal_end_components(model, set_mask));
 }
 
 FairProgressResult check_lockout_freedom(const Model& model, PhilId victim) {

@@ -16,6 +16,10 @@
 
 namespace gdp::mdp {
 
+namespace par {
+class ModelAssembler;
+}  // namespace par
+
 using StateId = std::uint32_t;
 
 struct Outcome {
@@ -55,6 +59,9 @@ class Model {
  private:
   friend Model detail_explore(const algos::Algorithm&, const graph::Topology&, std::size_t,
                               void* index_out);
+  /// The parallel explorer's canonical-renumbering pass builds the same
+  /// CSR arrays from its sharded intermediate form (gdp/mdp/par/explore.cpp).
+  friend class par::ModelAssembler;
 
   int num_phils_ = 0;
   std::vector<std::uint64_t> offsets_;  // (num_states * num_phils) + 1

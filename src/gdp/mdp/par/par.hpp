@@ -1,0 +1,96 @@
+// gdp::mdp::par — the parallel MDP model-checking engine.
+//
+// Parallelizes the whole pipeline behind the paper's mechanical theorem
+// checks (explore -> end-component decomposition -> verdict) on the shared
+// work-stealing pool (gdp/common/pool.hpp), the same substrate that
+// parallelized the sampling side in gdp::exp:
+//
+//   * explore / explore_indexed — breadth-first state-space construction
+//     with hash-sharded concurrent interning (sharded on the existing
+//     StateKeyHash), per-worker frontiers with steal-half balancing, and a
+//     deterministic canonical-renumbering pass. The resulting Model is
+//     BIT-IDENTICAL to the sequential mdp::explore for every thread count:
+//     same state numbering, same CSR offsets, same outcome bytes. When the
+//     state cap truncates exploration (truncation order is inherently
+//     sequential) the engine replays the sequential BFS over the recorded
+//     expansions, stepping the algorithm only for states the parallel
+//     phase never expanded — the guarantee holds there too.
+//
+//   * maximal_end_components — fork/join SCC decomposition (forward-
+//     backward reachability splitting, sequential Tarjan below a region
+//     threshold) driving the same MEC refinement fixpoint as the
+//     sequential end_components.cpp; small candidate sets fall back to the
+//     sequential decomposition outright. Component sets, their order and
+//     their philosopher masks are identical to the sequential results.
+//
+//   * check_fair_progress / check_lockout_freedom — the fair_progress
+//     verdicts computed over the parallel pipeline; identical
+//     FairProgressResult for every thread count.
+//
+// Determinism is the contract that makes the parallel engine usable for
+// the paper's correctness claims: a verdict produced on 16 workers is the
+// same object a single-threaded run certifies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gdp/mdp/end_components.hpp"
+#include "gdp/mdp/fair_progress.hpp"
+#include "gdp/mdp/model.hpp"
+#include "gdp/mdp/witness.hpp"
+
+namespace gdp::mdp::par {
+
+struct CheckOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). 1 runs the
+  /// sequential engines directly (bit-identical by construction).
+  int threads = 0;
+
+  /// Exploration state cap, as in mdp::explore. Hitting the cap replays
+  /// the sequential BFS over the recorded expansions, so truncated models
+  /// stay bit-identical too.
+  std::size_t max_states = 2'000'000;
+
+  /// Candidate sets smaller than this run the sequential MEC decomposition
+  /// (thread spawn + CSR construction cost more than they save).
+  std::size_t seq_mec_threshold = 16'384;
+
+  /// SCC regions smaller than this run sequential Tarjan instead of
+  /// another forward-backward split.
+  std::size_t seq_scc_region = 8'192;
+};
+
+/// Parallel breadth-first exploration; bit-identical to
+/// mdp::explore(algo, t, options.max_states) at every thread count.
+Model explore(const algos::Algorithm& algo, const graph::Topology& t, CheckOptions options = {});
+
+/// As explore(), also returning the encoded-state -> id map (canonical ids,
+/// identical to the sequential mdp::explore_indexed map).
+Model explore_indexed(const algos::Algorithm& algo, const graph::Topology& t,
+                      StateIndex& index_out, CheckOptions options = {});
+
+/// Parallel MEC decomposition of the non-`avoid_set`-eating fragment;
+/// identical components (sets, order, philosopher masks) to
+/// mdp::maximal_end_components at every thread count.
+std::vector<EndComponent> maximal_end_components(const Model& model,
+                                                 std::uint64_t avoid_set = ~std::uint64_t{0},
+                                                 CheckOptions options = {});
+
+/// Fair-progress verdict over the parallel MEC decomposition; identical
+/// FairProgressResult to mdp::check_fair_progress at every thread count.
+FairProgressResult check_fair_progress(const Model& model,
+                                       std::uint64_t set_mask = ~std::uint64_t{0},
+                                       CheckOptions options = {});
+
+/// Lockout-freedom of `victim` over the parallel pipeline.
+FairProgressResult check_lockout_freedom(const Model& model, PhilId victim,
+                                         CheckOptions options = {});
+
+/// One-call convenience: parallel explore + parallel check (the parallel
+/// analogue of mdp::check_fair_progress(algo, t, max_states, set_mask)).
+FairProgressResult check_fair_progress(const algos::Algorithm& algo, const graph::Topology& t,
+                                       CheckOptions options = {},
+                                       std::uint64_t set_mask = ~std::uint64_t{0});
+
+}  // namespace gdp::mdp::par

@@ -1,0 +1,224 @@
+// The parallel model-checking engine's core contract: gdp::mdp::par
+// produces BIT-IDENTICAL results to the sequential engine — same Model
+// (state numbering, CSR offsets, outcome bytes, eater masks, frontier
+// flags), same StateIndex, same end components, same verdicts — for every
+// thread count, including oversubscribed pools with stealing in play.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "gdp/algos/algorithm.hpp"
+#include "gdp/common/check.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/mdp/par/par.hpp"
+
+namespace gdp::mdp {
+namespace {
+
+std::vector<int> thread_counts() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<int> counts{1, 2, 4};
+  if (hw > 4) counts.push_back(hw);
+  return counts;
+}
+
+/// Field-by-field model equality through the public API; float payloads
+/// compared via memcmp so NaN or signed-zero drift would also be caught.
+void expect_models_bit_identical(const Model& seq, const Model& par_model, int threads) {
+  SCOPED_TRACE("threads=" + std::to_string(threads));
+  ASSERT_EQ(seq.num_states(), par_model.num_states());
+  ASSERT_EQ(seq.num_phils(), par_model.num_phils());
+  EXPECT_EQ(seq.truncated(), par_model.truncated());
+  for (StateId s = 0; s < seq.num_states(); ++s) {
+    ASSERT_EQ(seq.eaters(s), par_model.eaters(s)) << "state " << s;
+    ASSERT_EQ(seq.frontier(s), par_model.frontier(s)) << "state " << s;
+    for (int p = 0; p < seq.num_phils(); ++p) {
+      const auto [sb, se] = seq.row(s, p);
+      const auto [pb, pe] = par_model.row(s, p);
+      ASSERT_EQ(se - sb, pe - pb) << "row (" << s << ", " << p << ")";
+      for (const Outcome *so = sb, *po = pb; so != se; ++so, ++po) {
+        ASSERT_EQ(so->next, po->next) << "row (" << s << ", " << p << ")";
+        ASSERT_EQ(std::memcmp(&so->prob, &po->prob, sizeof(float)), 0)
+            << "row (" << s << ", " << p << ") prob " << so->prob << " vs " << po->prob;
+      }
+    }
+  }
+}
+
+void expect_mecs_identical(const std::vector<EndComponent>& seq,
+                           const std::vector<EndComponent>& par_mecs) {
+  ASSERT_EQ(seq.size(), par_mecs.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].states, par_mecs[i].states) << "component " << i;
+    EXPECT_EQ(seq[i].phil_mask, par_mecs[i].phil_mask) << "component " << i;
+  }
+}
+
+void expect_results_identical(const FairProgressResult& seq, const FairProgressResult& par_r) {
+  EXPECT_EQ(seq.verdict, par_r.verdict);
+  EXPECT_EQ(seq.avoid_set, par_r.avoid_set);
+  EXPECT_EQ(seq.num_states, par_r.num_states);
+  EXPECT_EQ(seq.num_mecs, par_r.num_mecs);
+  EXPECT_EQ(seq.num_fair_mecs, par_r.num_fair_mecs);
+  EXPECT_EQ(seq.witness_size, par_r.witness_size);
+  EXPECT_EQ(seq.witness_state.has_value(), par_r.witness_state.has_value());
+  if (seq.witness_state) EXPECT_EQ(*seq.witness_state, *par_r.witness_state);
+}
+
+/// The full-pipeline equivalence check for one (algorithm, topology, cap).
+void expect_par_equals_seq(const std::string& algo_name, const graph::Topology& t,
+                           std::size_t max_states = 2'000'000) {
+  SCOPED_TRACE(algo_name + " on " + t.name());
+  const auto algo = algos::make_algorithm(algo_name);
+
+  StateIndex seq_index;
+  const Model seq = explore_indexed(*algo, t, max_states, seq_index);
+  const auto seq_mecs = maximal_end_components(seq);
+  const auto seq_progress = check_fair_progress(seq);
+
+  for (const int threads : thread_counts()) {
+    par::CheckOptions opts;
+    opts.threads = threads;
+    opts.max_states = max_states;
+    // Force the parallel MEC machinery on even for the small test models
+    // (the production default hands tiny fragments to the sequential path).
+    opts.seq_mec_threshold = 1;
+    opts.seq_scc_region = 32;
+
+    StateIndex par_index;
+    const Model par_model = par::explore_indexed(*algo, t, par_index, opts);
+    expect_models_bit_identical(seq, par_model, threads);
+
+    ASSERT_EQ(seq_index.size(), par_index.size());
+    for (const auto& [key, id] : seq_index) {
+      const auto it = par_index.find(key);
+      ASSERT_NE(it, par_index.end());
+      EXPECT_EQ(it->second, id);
+    }
+
+    expect_mecs_identical(seq_mecs, par::maximal_end_components(par_model, ~std::uint64_t{0}, opts));
+    expect_results_identical(seq_progress, par::check_fair_progress(par_model, ~std::uint64_t{0}, opts));
+    for (PhilId v = 0; v < t.num_phils(); ++v) {
+      expect_results_identical(check_lockout_freedom(seq, v),
+                               par::check_lockout_freedom(par_model, v, opts));
+    }
+  }
+}
+
+/// Lighter variant for six-figure-state models (the full sweep would take
+/// minutes on small CI machines): one parallel run against one sequential
+/// run, model compared bit for bit, one MEC + verdict comparison.
+void expect_par_equals_seq_light(const std::string& algo_name, const graph::Topology& t,
+                                 bool compare_mecs = true) {
+  SCOPED_TRACE(algo_name + " on " + t.name());
+  const auto algo = algos::make_algorithm(algo_name);
+  const Model seq = explore(*algo, t);
+
+  par::CheckOptions opts;
+  opts.threads = 4;
+  opts.seq_mec_threshold = 1;
+  opts.seq_scc_region = 4'096;
+  const Model par_model = par::explore(*algo, t, opts);
+  expect_models_bit_identical(seq, par_model, opts.threads);
+  if (compare_mecs) {
+    expect_mecs_identical(maximal_end_components(seq),
+                          par::maximal_end_components(par_model, ~std::uint64_t{0}, opts));
+    expect_results_identical(check_fair_progress(seq),
+                             par::check_fair_progress(par_model, ~std::uint64_t{0}, opts));
+  }
+}
+
+// --- Topologies x algorithms x thread counts. ---
+
+TEST(ParExplore, Lr1Ring3) { expect_par_equals_seq("lr1", graph::classic_ring(3)); }
+TEST(ParExplore, Lr1Ring4) { expect_par_equals_seq("lr1", graph::classic_ring(4)); }
+TEST(ParExplore, Lr1RingWithPendant) {
+  expect_par_equals_seq("lr1", graph::ring_with_pendant(3));
+}
+TEST(ParExplore, Lr2ParallelArcs3) { expect_par_equals_seq("lr2", graph::parallel_arcs(3)); }
+TEST(ParExplore, Gdp1Ring3) { expect_par_equals_seq("gdp1", graph::classic_ring(3)); }
+TEST(ParExplore, Gdp1ParallelArcs3) {
+  expect_par_equals_seq("gdp1", graph::parallel_arcs(3), 3'000'000);
+}
+TEST(ParExplore, TicketBaselineFig1a) { expect_par_equals_seq("ticket", graph::fig1a()); }
+
+// Six-figure state spaces: the renumbering must stay canonical even when
+// the frontier is stolen back and forth for hundreds of thousands of
+// expansions (gdp2's guest books, lr2 on a 4-ring).
+TEST(ParExplore, Gdp2Ring3Large) { expect_par_equals_seq_light("gdp2", graph::classic_ring(3)); }
+TEST(ParExplore, Lr2Ring4Large) {
+  expect_par_equals_seq_light("lr2", graph::classic_ring(4), /*compare_mecs=*/false);
+}
+
+// The trap graph: LR1's model has a reachable fair EC (Theorem 1 premise),
+// so the equivalence must also hold through a kProgressFails verdict.
+TEST(ParExplore, Lr1Fig1aVerdictFails) {
+  const auto algo = algos::make_algorithm("lr1");
+  const auto seq = check_fair_progress(*algo, graph::fig1a());
+  par::CheckOptions opts;
+  opts.threads = 4;
+  opts.seq_mec_threshold = 1;
+  opts.seq_scc_region = 4'096;
+  const auto par_r = par::check_fair_progress(*algo, graph::fig1a(), opts);
+  EXPECT_EQ(par_r.verdict, Verdict::kProgressFails);
+  expect_results_identical(seq, par_r);
+}
+
+// Truncated exploration: the cap semantics are order-dependent, so the
+// parallel explorer detects the cap and replays the sequential BFS over
+// its recorded expansions (stepping the algorithm only for states the
+// parallel phase never reached) — the models stay bit-identical even
+// then, including the frontier flags and the truncated() bit.
+TEST(ParExplore, TruncationReplayBitIdentical) {
+  expect_par_equals_seq("lr1", graph::fig1a(), 500);
+}
+TEST(ParExplore, TruncationReplayMidBfs) {
+  expect_par_equals_seq("gdp1", graph::classic_ring(3), 5'000);
+  expect_par_equals_seq("ticket", graph::fig1a(), 2'000);
+  expect_par_equals_seq("lr2", graph::parallel_arcs(3), 9'999);
+}
+
+TEST(ParExplore, SubsetMasksAgree) {
+  const auto algo = algos::make_algorithm("lr1");
+  const Model seq = explore(*algo, graph::ring_with_pendant(3));
+  par::CheckOptions opts;
+  opts.threads = 4;
+  opts.seq_mec_threshold = 1;
+  opts.seq_scc_region = 256;
+  const Model par_model = par::explore(*algo, graph::ring_with_pendant(3), opts);
+  // Progress wrt the ring philosophers H = {P0..P2} fails (Theorem 1);
+  // global progress is certified — both through the parallel pipeline.
+  expect_results_identical(check_fair_progress(seq, 0b0111),
+                           par::check_fair_progress(par_model, 0b0111, opts));
+  expect_results_identical(check_fair_progress(seq),
+                           par::check_fair_progress(par_model, ~std::uint64_t{0}, opts));
+  EXPECT_EQ(par::check_fair_progress(par_model, 0b0111, opts).verdict, Verdict::kProgressFails);
+  EXPECT_EQ(par::check_fair_progress(par_model, ~std::uint64_t{0}, opts).verdict,
+            Verdict::kProgressCertain);
+}
+
+TEST(ParExplore, RequiresHungryMode) {
+  const auto algo = algos::make_algorithm(
+      "lr1", algos::AlgoConfig{.think = algos::ThinkMode::kCoin, .think_coin = 0.5});
+  par::CheckOptions opts;
+  opts.threads = 2;
+  EXPECT_THROW(par::explore(*algo, graph::classic_ring(3), opts), PreconditionError);
+}
+
+TEST(ParExplore, DefaultOptionsUseSequentialFallbacksOnTinyModels) {
+  // Default thresholds: a few-hundred-state model routes through the
+  // sequential MEC path; the result must of course still be identical.
+  const auto algo = algos::make_algorithm("lr1");
+  const Model seq = explore(*algo, graph::classic_ring(3));
+  par::CheckOptions opts;
+  opts.threads = 4;
+  const Model par_model = par::explore(*algo, graph::classic_ring(3), opts);
+  expect_models_bit_identical(seq, par_model, 4);
+  expect_mecs_identical(maximal_end_components(seq),
+                        par::maximal_end_components(par_model, ~std::uint64_t{0}, opts));
+}
+
+}  // namespace
+}  // namespace gdp::mdp
