@@ -14,6 +14,7 @@
 
 #include <cstdlib>
 
+#include "gdp/common/pool.hpp"
 #include "gdp/common/strings.hpp"
 #include "gdp/exp/runner.hpp"
 #include "gdp/graph/algorithms.hpp"
@@ -57,7 +58,44 @@ int main(int argc, char** argv) {
   verdicts.print();
   std::printf("  model-check phase wall time: %.2fs\n", model_check_clock.seconds());
 
-  std::printf("\n(b) the fig1a trap (nobody eats => Cond vacuous) against LR2:\n");
+  std::printf("\n(b) packed state keys (gdp::mdp::KeyCodec): intern-table memory:\n");
+  stats::Table keys({"model", "states", "B/state packed", "B/state legacy", "ratio",
+                     "peak intern key bytes"});
+  struct KeyCase {
+    const char* algo;
+    graph::Topology t;
+  };
+  const KeyCase key_cases[] = {{"lr2", graph::parallel_arcs(4)},
+                               {"gdp2", graph::classic_ring(3)},
+                               {"lr2", graph::parallel_arcs(3)}};
+  // On the multi-threaded indexed path every key transiently exists twice
+  // (the intern shards are still live while merge_into fills the returned
+  // StateIndex), so the honest peak doubles the per-state footprint there.
+  const bool parallel_path = common::effective_threads(opts.threads, ~std::size_t{0}) > 1;
+  for (const KeyCase& kc : key_cases) {
+    mdp::StateIndex index;
+    const auto model = mdp::par::explore_indexed(*algos::make_algorithm(kc.algo), kc.t, index, opts);
+    const auto& codec = index.codec();
+    const std::size_t packed = codec.key_bytes();
+    const std::size_t legacy = codec.legacy_key_bytes();
+    const std::size_t copies = parallel_path ? 2 : 1;
+    const std::size_t peak_packed = index.size() * packed * copies;
+    const std::size_t peak_legacy = index.size() * legacy * copies;
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%.1fx", static_cast<double>(legacy) / packed);
+    keys.add_row({std::string(kc.algo) + "/" + kc.t.name(), std::to_string(model.num_states()),
+                  std::to_string(packed), std::to_string(legacy), ratio,
+                  std::to_string(peak_packed) + " (was " + std::to_string(peak_legacy) + ")"});
+    // Machine-readable line for BENCH json tracking of the memory win.
+    std::printf("  BENCH key_bytes model=%s/%s states=%zu packed_bytes_per_state=%zu "
+                "legacy_bytes_per_state=%zu peak_intern_key_bytes=%zu "
+                "final_intern_key_bytes=%zu\n",
+                kc.algo, kc.t.name().c_str(), model.num_states(), packed, legacy, peak_packed,
+                index.size() * packed);
+  }
+  keys.print();
+
+  std::printf("\n(c) the fig1a trap (nobody eats => Cond vacuous) against LR2:\n");
   constexpr int kTrials = 300;
   exp::CampaignSpec spec;
   spec.name = "thm2-fig1a-trap";

@@ -52,6 +52,10 @@ class Algorithm {
 
   /// LR2/GDP2-style request lists + guest books in play?
   virtual bool uses_books() const { return false; }
+  /// GDP-style fork numbering: does step() ever write ForkState::nr?
+  /// The packed state-key layout (gdp::mdp::KeyCodec) allocates nr bits
+  /// only when true.
+  virtual bool uses_numbers() const { return false; }
   /// Symmetric = philosophers indistinguishable & identically programmed.
   virtual bool symmetric() const { return true; }
   /// Fully distributed = no processes/memory beyond philosophers & forks.
@@ -77,6 +81,10 @@ class Algorithm {
 
  protected:
   /// Hook for baselines to set up aux words (arbiter queue, ticket box).
+  /// Contract: the word count is fixed for the run and every value stays in
+  /// [-1, num_phils - 1] (philosopher ids, -1 sentinels, small counters) —
+  /// the packed state-key layout sizes its aux fields to exactly that range
+  /// and refuses larger values.
   virtual void init_aux(sim::SimState&, const graph::Topology&) const {}
 
   /// Handles Phase::kThinking according to the think mode; on waking, the

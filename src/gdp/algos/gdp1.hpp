@@ -34,6 +34,7 @@ class Gdp1 final : public Algorithm {
   explicit Gdp1(AlgoConfig config = {}) : Algorithm(config) {}
 
   std::string name() const override { return "gdp1"; }
+  bool uses_numbers() const override { return true; }
 
   std::vector<sim::Branch> step(const graph::Topology& t, const sim::SimState& state,
                                 PhilId p) const override;

@@ -49,6 +49,7 @@ class Gdp2 final : public Algorithm {
 
   std::string name() const override { return cond_on_second_ ? "gdp2c" : "gdp2"; }
   bool uses_books() const override { return true; }
+  bool uses_numbers() const override { return true; }
 
   /// True for the prose-faithful variant that applies Cond to both takes.
   bool cond_on_second_take() const { return cond_on_second_; }

@@ -1,24 +1,16 @@
 #include <deque>
-#include <unordered_map>
 
 #include "gdp/common/check.hpp"
+#include "gdp/mdp/key.hpp"
 #include "gdp/mdp/model.hpp"
 #include "gdp/mdp/witness.hpp"
-#include "gdp/rng/splitmix.hpp"
 #include "gdp/sim/state.hpp"
 #include "gdp/sim/step.hpp"
 
 namespace gdp::mdp {
 
-std::size_t StateKeyHash::operator()(const std::vector<std::uint8_t>& bytes) const {
-  // FNV-1a folded through splitmix for avalanche.
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (std::uint8_t b : bytes) h = (h ^ b) * 0x100000001b3ULL;
-  return static_cast<std::size_t>(rng::splitmix64_once(h));
-}
-
 /// Shared implementation; `index_out` (a StateIndex*) optionally receives
-/// the encoded-state -> id map.
+/// the packed-key -> id map.
 Model detail_explore(const algos::Algorithm& algo, const graph::Topology& t,
                      std::size_t max_states, void* index_out) {
   GDP_CHECK_MSG(algo.config().think == algos::ThinkMode::kHungry,
@@ -27,13 +19,15 @@ Model detail_explore(const algos::Algorithm& algo, const graph::Topology& t,
   Model model;
   model.num_phils_ = t.num_phils();
 
+  const KeyCodec codec(algo, t);
   StateIndex index;
+  index.reset(codec);
   std::vector<sim::SimState> states;  // kept until exploration ends
   std::deque<StateId> frontier;
 
-  std::vector<std::uint8_t> key;
+  PackedKey key;
   auto intern = [&](const sim::SimState& s) -> StateId {
-    s.encode(key);
+    codec.encode(s, key);
     const auto [it, inserted] = index.try_emplace(key, static_cast<StateId>(states.size()));
     if (inserted) {
       states.push_back(s);

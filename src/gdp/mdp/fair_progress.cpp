@@ -26,12 +26,17 @@ namespace detail {
 
 FairProgressResult verdict_from_mecs(const Model& model, std::uint64_t set_mask,
                                      const std::vector<EndComponent>& mecs) {
+  return verdict_from_mecs(model, set_mask, mecs, reachable_states(model));
+}
+
+FairProgressResult verdict_from_mecs(const Model& model, std::uint64_t set_mask,
+                                     const std::vector<EndComponent>& mecs,
+                                     const std::vector<bool>& reached) {
   FairProgressResult result;
   result.avoid_set = set_mask;
   result.num_states = model.num_states();
   result.num_mecs = mecs.size();
 
-  const std::vector<bool> reached = reachable_states(model);
   for (const EndComponent& mec : mecs) {
     if (!mec.fair(model.num_phils())) continue;
     ++result.num_fair_mecs;

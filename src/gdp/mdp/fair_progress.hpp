@@ -71,6 +71,14 @@ namespace detail {
 /// (gdp/mdp/par), which must produce identical FairProgressResults.
 FairProgressResult verdict_from_mecs(const Model& model, std::uint64_t set_mask,
                                      const std::vector<EndComponent>& mecs);
+
+/// As above with a precomputed reachable-state set (reached[s] true iff s is
+/// reachable from the initial state) — the parallel engine passes the result
+/// of its pool-based sweep (par::reachable_states), which is the same set
+/// the sequential reachable_states computes.
+FairProgressResult verdict_from_mecs(const Model& model, std::uint64_t set_mask,
+                                     const std::vector<EndComponent>& mecs,
+                                     const std::vector<bool>& reached);
 }  // namespace detail
 
 }  // namespace gdp::mdp

@@ -524,10 +524,70 @@ std::vector<EndComponent> maximal_end_components(const Model& model, std::uint64
   return mecs;
 }
 
+std::vector<bool> reachable_states(const Model& model, CheckOptions options) {
+  const std::size_t n = model.num_states();
+  const unsigned workers = common::effective_threads(options.threads, n);
+  if (workers <= 1 || n < options.seq_mec_threshold) return mdp::reachable_states(model);
+
+  // Level-synchronous BFS: each level fans its frontier out over the pool,
+  // claiming discoveries through atomic flags. The claimed *set* is the
+  // reachable set no matter how the claims interleave, and levels join
+  // before the flags are read non-atomically again.
+  std::vector<unsigned char> reached(n, 0);
+  std::vector<StateId> frontier{model.initial()};
+  reached[model.initial()] = 1;
+
+  // Below this, spawn/steal overhead beats the scan.
+  constexpr std::size_t kSeqLevel = 2'048;
+
+  std::vector<StateId> next;
+  while (!frontier.empty()) {
+    next.clear();
+    if (frontier.size() < kSeqLevel) {
+      for (const StateId s : frontier) {
+        for (int p = 0; p < model.num_phils(); ++p) {
+          const auto [begin, end] = model.row(s, p);
+          for (const Outcome* o = begin; o != end; ++o) {
+            if (!reached[o->next]) {
+              reached[o->next] = 1;
+              next.push_back(o->next);
+            }
+          }
+        }
+      }
+    } else {
+      const std::size_t chunks = std::min<std::size_t>(frontier.size() / 512, workers * 4);
+      std::vector<std::vector<StateId>> found(chunks);
+      common::parallel_for(chunks, options.threads, [&](std::uint32_t c) {
+        std::vector<StateId>& mine = found[c];
+        for (std::size_t i = c; i < frontier.size(); i += chunks) {
+          const StateId s = frontier[i];
+          for (int p = 0; p < model.num_phils(); ++p) {
+            const auto [begin, end] = model.row(s, p);
+            for (const Outcome* o = begin; o != end; ++o) {
+              std::atomic_ref<unsigned char> flag(reached[o->next]);
+              if (flag.load(std::memory_order_relaxed) == 0 &&
+                  flag.exchange(1, std::memory_order_relaxed) == 0) {
+                mine.push_back(o->next);
+              }
+            }
+          }
+        }
+      });
+      for (const std::vector<StateId>& mine : found) {
+        next.insert(next.end(), mine.begin(), mine.end());
+      }
+    }
+    frontier.swap(next);
+  }
+  return std::vector<bool>(reached.begin(), reached.end());
+}
+
 FairProgressResult check_fair_progress(const Model& model, std::uint64_t set_mask,
                                        CheckOptions options) {
   return detail::verdict_from_mecs(model, set_mask,
-                                   maximal_end_components(model, set_mask, options));
+                                   maximal_end_components(model, set_mask, options),
+                                   reachable_states(model, options));
 }
 
 FairProgressResult check_lockout_freedom(const Model& model, PhilId victim,

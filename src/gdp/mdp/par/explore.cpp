@@ -2,15 +2,19 @@
 //
 // Phase 1 (parallel): workers expand states off per-worker frontiers
 // (steal-half balancing, as in gdp::exp). Discovered states intern into
-// N hash-sharded tables keyed by the exploration key (StateKeyHash) and
-// get *provisional* ids from a global counter — an ordering that depends
-// on scheduling and is different on every run.
+// N hash-sharded tables keyed by the packed fixed-width exploration key
+// (gdp/mdp/key.hpp) and get *provisional* ids from a global counter — an
+// ordering that depends on scheduling and is different on every run.
 //
-// Phase 2 (sequential, cheap): a canonical renumbering pass replays the
-// breadth-first discovery over the recorded expansions — no algorithm
-// step() calls, just pointer chasing — assigning ids exactly the way the
-// sequential explorer's FIFO interning does. The assembled Model is
-// therefore bit-identical to mdp::explore's for every thread count.
+// Phase 2 (the epilogue): a canonical renumbering replays the breadth-first
+// discovery over the recorded expansions — no algorithm step() calls, just
+// pointer chasing — assigning ids exactly the way the sequential explorer's
+// FIFO interning does. The id assignment itself is a sequential prefix pass
+// (each id depends on all earlier ones), but everything around it runs on
+// the shared pool: the expansion-log gather, the CSR row materialization
+// with its provisional->canonical id rewrites, and (in par/end_components)
+// the reachable-states sweep. The assembled Model is therefore bit-identical
+// to mdp::explore's for every thread count.
 //
 // Truncation: the sequential explorer's cap semantics depend on its exact
 // BFS order, so the moment the parallel phase discovers that the cap will
@@ -21,10 +25,12 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "gdp/common/check.hpp"
 #include "gdp/common/pool.hpp"
+#include "gdp/mdp/key.hpp"
 #include "gdp/mdp/par/par.hpp"
 #include "gdp/sim/state.hpp"
 #include "gdp/sim/step.hpp"
@@ -107,8 +113,8 @@ struct Frontier {
   }
 };
 
-/// Hash-sharded concurrent intern table: encoded state -> provisional id.
-/// Shard choice reuses StateKeyHash, so contention spreads the same way
+/// Hash-sharded concurrent intern table: packed key -> provisional id.
+/// Shard choice reuses PackedKeyHash, so contention spreads the same way
 /// the buckets do.
 class InternShards {
  public:
@@ -116,8 +122,8 @@ class InternShards {
 
   /// Interns `key`; newly seen keys get ids from the global counter.
   /// Returns (provisional id, inserted).
-  std::pair<std::uint32_t, bool> intern(const std::vector<std::uint8_t>& key) {
-    const std::size_t h = StateKeyHash{}(key);
+  std::pair<std::uint32_t, bool> intern(const PackedKey& key) {
+    const std::size_t h = PackedKeyHash{}(key);
     Shard& shard = shards_[h & (kShards - 1)];
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto [it, inserted] = shard.map.try_emplace(key, 0);
@@ -127,20 +133,21 @@ class InternShards {
 
   std::uint32_t count() const { return next_id_.load(std::memory_order_relaxed); }
 
-  /// Merges all shards into `out`, translating provisional ids through
-  /// `canon`. Sequential; called after the pool joined.
+  /// Merges all shards into `out` (whose codec the caller set), translating
+  /// provisional ids through `canon`. Sequential; called after the pool
+  /// joined — the hash-map inserts serialize anyway, and the per-entry
+  /// translation is one array read.
   void merge_into(StateIndex& out, const std::vector<StateId>& canon) const {
-    out.clear();
     out.reserve(count());
     for (const Shard& shard : shards_) {
-      for (const auto& [key, prov] : shard.map) out.emplace(key, canon[prov]);
+      for (const auto& [key, prov] : shard.map) out.try_emplace(key, canon[prov]);
     }
   }
 
   /// Provisional id of `key`, or -1 if the parallel phase never saw it.
   /// Post-join use only (no locking).
-  std::int64_t find(const std::vector<std::uint8_t>& key) const {
-    const Shard& shard = shards_[StateKeyHash{}(key) & (kShards - 1)];
+  std::int64_t find(const PackedKey& key) const {
+    const Shard& shard = shards_[PackedKeyHash{}(key) & (kShards - 1)];
     const auto it = shard.map.find(key);
     return it == shard.map.end() ? -1 : static_cast<std::int64_t>(it->second);
   }
@@ -156,7 +163,7 @@ class InternShards {
  private:
   struct Shard {
     std::mutex mu;
-    StateIndex map;
+    std::unordered_map<PackedKey, std::uint32_t, PackedKeyHash> map;
   };
   Shard shards_[kShards];
   std::atomic<std::uint32_t> next_id_{0};
@@ -176,8 +183,8 @@ class ModelAssembler {
   /// algorithm only steps for states the parallel phase never expanded
   /// (whose SimStates are still parked in the leftover frontiers).
   static Model replay_truncated(const algos::Algorithm& algo, const graph::Topology& t,
-                                std::size_t max_states, StateIndex* index_out,
-                                const InternShards& interned,
+                                const KeyCodec& codec, std::size_t max_states,
+                                StateIndex* index_out, const InternShards& interned,
                                 const std::vector<Frontier>& frontiers,
                                 const std::vector<std::vector<Expansion>>& logs) {
     const int n = t.num_phils();
@@ -194,13 +201,13 @@ class ModelAssembler {
     for (const Frontier& f : frontiers) {
       for (const Item& item : f.items) state_of[item.prov] = &item.state;
     }
-    std::vector<const std::vector<std::uint8_t>*> key_of(total_prov, nullptr);
-    interned.for_each(
-        [&](const std::vector<std::uint8_t>& key, StateId prov) { key_of[prov] = &key; });
+    std::vector<const PackedKey*> key_of(total_prov, nullptr);
+    interned.for_each([&](const PackedKey& key, StateId prov) { key_of[prov] = &key; });
 
     Model model;
     model.num_phils_ = n;
     StateIndex index;
+    index.reset(codec);
     std::vector<std::int64_t> prov_of_id;  // replay id -> provisional id (or -1)
     std::vector<sim::SimState> states;     // replay id -> state (placeholder when cached)
     std::deque<StateId> frontier;
@@ -208,11 +215,11 @@ class ModelAssembler {
     // The sequential intern, cross-linked with the provisional world so
     // cached expansions are found again. Exactly one of `s` / `prov` is
     // known on entry.
-    std::vector<std::uint8_t> scratch;
+    PackedKey scratch;
     auto intern = [&](const sim::SimState* s, std::int64_t prov) -> StateId {
-      const std::vector<std::uint8_t>* key;
+      const PackedKey* key;
       if (s != nullptr) {
-        s->encode(scratch);
+        codec.encode(*s, scratch);
         key = &scratch;
       } else {
         key = key_of[static_cast<std::size_t>(prov)];
@@ -293,9 +300,14 @@ class ModelAssembler {
     return model;
   }
 
+  /// Complete-model assembly: rows materialize in parallel. Per-state CSR
+  /// bases come from a sequential prefix sum (cheap — one add per state);
+  /// the expensive parts — copying every outcome while rewriting its
+  /// provisional id to the canonical one, and writing the per-row offsets —
+  /// touch disjoint index ranges per state and run on the pool.
   static Model assemble(int num_phils, const std::vector<const Expansion*>& exp_of,
                         const std::vector<StateId>& canon,
-                        const std::vector<std::uint32_t>& order) {
+                        const std::vector<std::uint32_t>& order, int threads) {
     const std::size_t total = order.size();
     Model model;
     model.num_phils_ = num_phils;
@@ -303,24 +315,25 @@ class ModelAssembler {
     model.frontier_.assign(total, false);  // complete model: every state expanded
     model.truncated_ = false;
 
-    std::size_t total_outcomes = 0;
-    for (const Expansion* e : exp_of) total_outcomes += e->outcomes.size();
-    model.outcomes_.reserve(total_outcomes);
-    model.offsets_.reserve(total * static_cast<std::size_t>(num_phils) + 1);
-    model.offsets_.push_back(0);
-
+    std::vector<std::uint64_t> base(total + 1, 0);
     for (std::size_t i = 0; i < total; ++i) {
+      base[i + 1] = base[i] + exp_of[order[i]]->outcomes.size();
+    }
+    model.outcomes_.resize(base[total]);
+    model.offsets_.resize(total * static_cast<std::size_t>(num_phils) + 1);
+    model.offsets_[0] = 0;
+
+    common::parallel_for(total, threads, [&](std::uint32_t i) {
       const Expansion* e = exp_of[order[i]];
       model.eaters_[i] = e->eaters;
-      std::uint32_t begin = 0;
-      for (const std::uint32_t end : e->row_ends) {
-        for (std::uint32_t j = begin; j < end; ++j) {
-          model.outcomes_.push_back(Outcome{e->outcomes[j].prob, canon[e->outcomes[j].next]});
-        }
-        model.offsets_.push_back(model.outcomes_.size());
-        begin = end;
+      const std::uint64_t b = base[i];
+      for (std::size_t j = 0; j < e->outcomes.size(); ++j) {
+        const ProvOutcome& o = e->outcomes[j];
+        model.outcomes_[b + j] = Outcome{o.prob, canon[o.next]};
       }
-    }
+      std::uint64_t* row = model.offsets_.data() + i * static_cast<std::size_t>(num_phils) + 1;
+      for (std::size_t p = 0; p < e->row_ends.size(); ++p) row[p] = b + e->row_ends[p];
+    });
     return model;
   }
 };
@@ -343,6 +356,7 @@ Model detail_par_explore(const algos::Algorithm& algo, const graph::Topology& t,
   if (n <= 1) return sequential();
 
   const int num_phils = t.num_phils();
+  const KeyCodec codec(algo, t);
   InternShards interned;
   std::vector<Frontier> frontiers(n);
   std::vector<std::vector<Expansion>> logs(n);
@@ -353,8 +367,8 @@ Model detail_par_explore(const algos::Algorithm& algo, const graph::Topology& t,
   // Seed: the initial state is provisional id 0 on worker 0's frontier.
   {
     const sim::SimState initial = algo.initial_state(t);
-    std::vector<std::uint8_t> key;
-    initial.encode(key);
+    PackedKey key;
+    codec.encode(initial, key);
     const auto [prov, inserted] = interned.intern(key);
     GDP_DCHECK(inserted && prov == 0);
     if (interned.count() >= options.max_states) return sequential();
@@ -364,7 +378,7 @@ Model detail_par_explore(const algos::Algorithm& algo, const graph::Topology& t,
 
   common::run_workers(n, [&](unsigned me) {
     try {
-      std::vector<std::uint8_t> key;
+      PackedKey key;
       common::Backoff backoff;
       while (!abort.load(std::memory_order_relaxed)) {
         std::optional<Item> item = frontiers[me].pop();
@@ -395,7 +409,7 @@ Model detail_par_explore(const algos::Algorithm& algo, const graph::Topology& t,
         for (PhilId p = 0; p < num_phils; ++p) {
           const std::vector<sim::Branch> branches = algo.step(t, item->state, p);
           for (const sim::Branch& b : branches) {
-            b.next.encode(key);
+            codec.encode(b.next, key);
             const auto [prov, inserted] = interned.intern(key);
             if (inserted) {
               // The sequential explorer truncates exactly when >= max_states
@@ -424,22 +438,27 @@ Model detail_par_explore(const algos::Algorithm& algo, const graph::Topology& t,
   if (hit_cap.load(std::memory_order_relaxed)) {
     // Truncation order is the sequential explorer's; replay it over the
     // recorded expansions instead of re-exploring from scratch.
-    return ModelAssembler::replay_truncated(algo, t, options.max_states, index_out, interned,
-                                            frontiers, logs);
+    return ModelAssembler::replay_truncated(algo, t, codec, options.max_states, index_out,
+                                            interned, frontiers, logs);
   }
 
-  // --- Sequential epilogue: canonical renumbering + assembly. ---
+  // --- Epilogue: canonical renumbering + parallel assembly. ---
 
+  // Gather the expansion logs: one task per worker log; provisional ids are
+  // unique across logs, so the writes into exp_of are disjoint.
   const std::size_t total = interned.count();
   std::vector<const Expansion*> exp_of(total, nullptr);
-  for (const auto& log : logs) {
-    for (const Expansion& e : log) exp_of[e.prov] = &e;
-  }
+  common::parallel_for(logs.size(), options.threads, [&](std::uint32_t w) {
+    for (const Expansion& e : logs[w]) exp_of[e.prov] = &e;
+  });
 
   // Replay the sequential explorer's FIFO discovery over the recorded
   // expansions: canonical id = breadth-first first-encounter order, rows
   // scanned philosopher-major exactly as intern() calls happen in
   // mdp::explore. order[i] is the provisional id of canonical state i.
+  // Inherently a sequential prefix pass (each id depends on all earlier
+  // discoveries), but it is one array read per recorded outcome — the
+  // expensive row materialization around it runs on the pool.
   std::vector<StateId> canon(total, kUnset);
   std::vector<std::uint32_t> order;
   order.reserve(total);
@@ -459,8 +478,11 @@ Model detail_par_explore(const algos::Algorithm& algo, const graph::Topology& t,
                 "parallel explore interned " << total << " states but only " << order.size()
                                              << " are reachable from the initial state");
 
-  if (index_out != nullptr) interned.merge_into(*index_out, canon);
-  return ModelAssembler::assemble(num_phils, exp_of, canon, order);
+  if (index_out != nullptr) {
+    index_out->reset(codec);
+    interned.merge_into(*index_out, canon);
+  }
+  return ModelAssembler::assemble(num_phils, exp_of, canon, order, options.threads);
 }
 
 }  // namespace

@@ -6,9 +6,11 @@
 // parallelized the sampling side in gdp::exp:
 //
 //   * explore / explore_indexed — breadth-first state-space construction
-//     with hash-sharded concurrent interning (sharded on the existing
-//     StateKeyHash), per-worker frontiers with steal-half balancing, and a
-//     deterministic canonical-renumbering pass. The resulting Model is
+//     with hash-sharded concurrent interning of packed fixed-width state
+//     keys (gdp/mdp/key.hpp, sharded on PackedKeyHash), per-worker
+//     frontiers with steal-half balancing, and a deterministic
+//     canonical-renumbering epilogue whose row materialization and id
+//     rewrites run on the pool. The resulting Model is
 //     BIT-IDENTICAL to the sequential mdp::explore for every thread count:
 //     same state numbering, same CSR offsets, same outcome bytes. When the
 //     state cap truncates exploration (truncation order is inherently
@@ -76,6 +78,12 @@ Model explore_indexed(const algos::Algorithm& algo, const graph::Topology& t,
 std::vector<EndComponent> maximal_end_components(const Model& model,
                                                  std::uint64_t avoid_set = ~std::uint64_t{0},
                                                  CheckOptions options = {});
+
+/// Parallel reachable-from-initial sweep (level-synchronous BFS on the
+/// pool); the returned set is identical to mdp::reachable_states — the set
+/// does not depend on traversal order. Models below seq_mec_threshold run
+/// the sequential sweep.
+std::vector<bool> reachable_states(const Model& model, CheckOptions options = {});
 
 /// Fair-progress verdict over the parallel MEC decomposition; identical
 /// FairProgressResult to mdp::check_fair_progress at every thread count.

@@ -68,7 +68,7 @@ bool WitnessScheduler::usable_inside(StateId s, int phil) const {
 
 PhilId WitnessScheduler::pick(const graph::Topology& t, const sim::SimState& state,
                               const sim::RunView& view, rng::RandomSource& rng) {
-  state.encode(key_);
+  index_.codec().encode(state, key_);
   const auto it = index_.find(key_);
   if (it == index_.end()) {
     // Outside the explored model (possible on truncated explorations):

@@ -17,24 +17,18 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "gdp/mdp/end_components.hpp"
+#include "gdp/mdp/key.hpp"
 #include "gdp/mdp/model.hpp"
 #include "gdp/sim/scheduler.hpp"
 
 namespace gdp::mdp {
 
-/// Hash for encoded SimStates (the exploration key).
-struct StateKeyHash {
-  std::size_t operator()(const std::vector<std::uint8_t>& bytes) const;
-};
-
-using StateIndex = std::unordered_map<std::vector<std::uint8_t>, StateId, StateKeyHash>;
-
-/// explore() variant that also returns the encoded-state -> id map, so live
-/// simulator configurations can be located inside the model.
+/// explore() variant that also returns the packed-key -> id map (plus the
+/// codec that produced the keys, see gdp/mdp/key.hpp), so live simulator
+/// configurations can be located inside the model.
 Model explore_indexed(const algos::Algorithm& algo, const graph::Topology& t,
                       std::size_t max_states, StateIndex& index_out);
 
@@ -66,7 +60,7 @@ class WitnessScheduler final : public sim::Scheduler {
   std::vector<std::int16_t> toward_ec_;
   bool entered_ = false;
   std::uint64_t inside_steps_ = 0;
-  std::vector<std::uint8_t> key_;
+  PackedKey key_;
   std::vector<std::uint64_t> last_inside_pick_;
 };
 

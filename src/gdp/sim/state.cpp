@@ -30,6 +30,11 @@ void SimState::encode(std::vector<std::uint8_t>& out) const {
     for (int shift = 0; shift < 64; shift += 8) {
       out.push_back(static_cast<std::uint8_t>((f.requests >> shift) & 0xff));
     }
+    // One size byte: a rank vector beyond 255 slots would silently truncate
+    // and alias distinct states. Unreachable today (books cap degree at 64),
+    // but refuse instead of corrupting if that cap ever moves.
+    GDP_CHECK_MSG(f.use_rank.size() <= 0xff,
+                  "encode: use_rank has " << f.use_rank.size() << " slots; the size byte caps at 255");
     out.push_back(static_cast<std::uint8_t>(f.use_rank.size()));
     out.insert(out.end(), f.use_rank.begin(), f.use_rank.end());
   }

@@ -85,7 +85,11 @@ struct SimState {
   const PhilState& phil(PhilId p) const { return phils[static_cast<std::size_t>(p)]; }
   PhilState& phil(PhilId p) { return phils[static_cast<std::size_t>(p)]; }
 
-  /// Serializes to bytes (exact, canonical) — the MDP state key.
+  /// Serializes to bytes (exact, canonical). Formerly the MDP state key;
+  /// the explorers now intern bit-packed fixed-width keys (gdp/mdp/key.hpp)
+  /// instead. Kept as the reference encoding: test_differential cross-checks
+  /// every KeyCodec key against these bytes so the packed layout can never
+  /// silently drop a distinguishing field.
   void encode(std::vector<std::uint8_t>& out) const;
 };
 

@@ -1,0 +1,44 @@
+// Shared test helper: a scheduler decorator that records every distinct
+// configuration the engine hands it. pick() sees each pre-step state;
+// callers that also care about the run's final state check it separately.
+// Deduplication is on the legacy byte encoding (SimState::encode), which
+// keeps the recorded set independent of the packed-key codec the recorder
+// is used to test.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gdp/sim/scheduler.hpp"
+#include "gdp/sim/state.hpp"
+
+namespace gdp::testutil {
+
+class StateRecorder final : public sim::Scheduler {
+ public:
+  explicit StateRecorder(sim::Scheduler& inner) : inner_(inner) {}
+
+  std::string name() const override { return "recorder(" + inner_.name() + ")"; }
+  void reset(const graph::Topology& t) override { inner_.reset(t); }
+
+  PhilId pick(const graph::Topology& t, const sim::SimState& state, const sim::RunView& view,
+              rng::RandomSource& rng) override {
+    state.encode(key_);
+    if (visited_.insert(key_).second) states_.push_back(state);
+    return inner_.pick(t, state, view, rng);
+  }
+
+  /// Legacy byte encodings of the distinct states seen so far.
+  const std::set<std::vector<std::uint8_t>>& visited() const { return visited_; }
+  /// The distinct states themselves, in first-seen order.
+  const std::vector<sim::SimState>& states() const { return states_; }
+
+ private:
+  sim::Scheduler& inner_;
+  std::vector<std::uint8_t> key_;
+  std::set<std::vector<std::uint8_t>> visited_;
+  std::vector<sim::SimState> states_;
+};
+
+}  // namespace gdp::testutil

@@ -1,0 +1,313 @@
+// Property tests for the packed fixed-width state-key codec
+// (gdp/mdp/key.hpp): encode/decode round-trips over randomized reachable
+// states, injectivity against the reference byte encoding, exact layout
+// widths for the topology families the benches run, and the degree-cap
+// regression for the guest-book fields.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gdp/algos/algorithm.hpp"
+#include "gdp/common/check.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/mdp/key.hpp"
+#include "gdp/rng/rng.hpp"
+#include "gdp/sim/engine.hpp"
+#include "gdp/sim/schedulers/basic.hpp"
+#include "gdp/sim/state.hpp"
+#include "state_recorder.hpp"
+
+namespace gdp::mdp {
+namespace {
+
+/// Collects distinct reachable configurations by driving the live engine
+/// with seeded Rng streams under benign and adversarial schedulers.
+std::vector<sim::SimState> reachable_sample(const algos::Algorithm& algo,
+                                            const graph::Topology& t, std::uint64_t seed_base,
+                                            int runs = 6, std::uint64_t steps = 4'000) {
+  std::vector<sim::SimState> all;
+  std::set<std::vector<std::uint8_t>> seen;
+  std::vector<std::uint8_t> bytes;
+  for (int run = 0; run < runs; ++run) {
+    sim::RandomUniform uniform;
+    sim::LongestWaiting longest;
+    sim::Scheduler& inner = (run % 2 == 0) ? static_cast<sim::Scheduler&>(uniform)
+                                           : static_cast<sim::Scheduler&>(longest);
+    testutil::StateRecorder collector(inner);
+    rng::Rng rng(seed_base + static_cast<std::uint64_t>(run));
+    sim::EngineConfig cfg;
+    cfg.max_steps = steps;
+    (void)sim::run(algo, t, collector, rng, cfg);
+    for (const sim::SimState& s : collector.states()) {
+      s.encode(bytes);
+      if (seen.insert(bytes).second) all.push_back(s);
+    }
+  }
+  return all;
+}
+
+// --- Round-trip + injectivity over topologies x algorithms. ---
+
+void expect_round_trip_and_injective(const std::string& algo_name, const graph::Topology& t,
+                                     std::uint64_t seed_base) {
+  SCOPED_TRACE(algo_name + " on " + t.name());
+  const auto algo = algos::make_algorithm(algo_name);
+  const KeyCodec codec(*algo, t);
+  ASSERT_TRUE(codec.valid());
+
+  const auto states = reachable_sample(*algo, t, seed_base);
+  ASSERT_GT(states.size(), 20u) << "sample too small to mean anything";
+
+  // Injectivity through a map of decoded states: distinct SimStates must
+  // produce distinct PackedKeys, and each stored key must decode back to
+  // exactly the SimState that produced it.
+  std::map<std::vector<std::uint8_t>, sim::SimState> decoded_by_words;
+  for (const sim::SimState& state : states) {
+    PackedKey key;
+    codec.encode(state, key);
+    ASSERT_EQ(key.words(), codec.key_words());
+
+    const sim::SimState decoded = codec.decode(key);
+    ASSERT_EQ(decoded, state) << "decode is not the inverse of encode";
+    // Re-encoding the decoded state reproduces the key bit for bit.
+    ASSERT_TRUE(codec.encode(decoded) == key);
+
+    const std::vector<std::uint8_t> words(
+        reinterpret_cast<const std::uint8_t*>(key.data()),
+        reinterpret_cast<const std::uint8_t*>(key.data() + key.words()));
+    const auto [it, inserted] = decoded_by_words.emplace(words, decoded);
+    if (!inserted) {
+      ASSERT_EQ(it->second, state) << "two distinct states packed to the same key";
+    }
+  }
+  EXPECT_EQ(decoded_by_words.size(), states.size());
+}
+
+TEST(KeyCodec, RoundTripRing) {
+  expect_round_trip_and_injective("lr1", graph::classic_ring(3), 100);
+  expect_round_trip_and_injective("lr2", graph::classic_ring(4), 200);
+  expect_round_trip_and_injective("gdp1", graph::classic_ring(5), 300);
+  expect_round_trip_and_injective("gdp2", graph::classic_ring(3), 400);
+}
+
+TEST(KeyCodec, RoundTripChordAndPendant) {
+  expect_round_trip_and_injective("lr1", graph::ring_with_chord(4), 500);
+  expect_round_trip_and_injective("lr2", graph::ring_with_chord(5), 600);
+  expect_round_trip_and_injective("gdp1", graph::ring_with_pendant(3), 700);
+  expect_round_trip_and_injective("gdp2", graph::ring_with_chord(4), 800);
+}
+
+TEST(KeyCodec, RoundTripSharedForkFamilies) {
+  // parallel_arcs / star / fig1a: a fork shared by many philosophers — the
+  // closest the two-fork Topology API gets to a hyperedge, and the families
+  // where the guest-book fields dominate the layout.
+  expect_round_trip_and_injective("lr2", graph::parallel_arcs(4), 900);
+  expect_round_trip_and_injective("gdp2", graph::parallel_arcs(3), 1'000);
+  expect_round_trip_and_injective("lr2", graph::star(5), 1'100);
+  expect_round_trip_and_injective("lr1", graph::fig1a(), 1'200);
+}
+
+TEST(KeyCodec, RoundTripBaselinesWithAuxWords) {
+  expect_round_trip_and_injective("arbiter", graph::classic_ring(3), 1'300);
+  expect_round_trip_and_injective("ticket", graph::classic_ring(4), 1'400);
+  expect_round_trip_and_injective("ordered", graph::ring_with_chord(4), 1'500);
+}
+
+// --- Layout-width pins: the exact bit budget per family. ---
+
+TEST(KeyCodec, LayoutWidthsRing) {
+  // ring(n) with lr1: no books, no numbers, no aux — per fork just the
+  // holder field, per philosopher phase + side.
+  struct Case {
+    int n;
+    unsigned holder_bits;
+    std::size_t key_bits;
+  };
+  // holder stores [0, n] (0 = free): bit_width(n) bits.
+  for (const Case c : {Case{3, 2, 3 * 2 + 3 * 4},      // 18 bits
+                       Case{5, 3, 5 * 3 + 5 * 4},      // 35 bits
+                       Case{64, 7, 64 * 7 + 64 * 4}}) {  // 704 bits
+    const auto t = graph::classic_ring(c.n);
+    const KeyCodec codec(*algos::make_algorithm("lr1"), t);
+    SCOPED_TRACE(t.name());
+    EXPECT_FALSE(codec.books());
+    EXPECT_FALSE(codec.numbers());
+    EXPECT_EQ(codec.aux_words(), 0);
+    EXPECT_EQ(codec.holder_bits(), c.holder_bits);
+    EXPECT_EQ(codec.nr_bits(), 0u);
+    EXPECT_EQ(codec.key_bits(), c.key_bits);
+    EXPECT_EQ(codec.key_words(), (c.key_bits + 63) / 64);
+  }
+
+  // gdp2 on the same rings adds nr (bit_width(m), m = k) and the books:
+  // per fork degree 2 -> 2 request bits + 2 ranks x 2 bits.
+  for (const int n : {3, 5, 64}) {
+    const auto t = graph::classic_ring(n);
+    const KeyCodec codec(*algos::make_algorithm("gdp2"), t);
+    SCOPED_TRACE(t.name());
+    EXPECT_TRUE(codec.books());
+    EXPECT_TRUE(codec.numbers());
+    const auto nu = static_cast<unsigned>(n);
+    const unsigned holder = std::bit_width(nu);
+    const unsigned nr = std::bit_width(nu);  // m = num_forks = n on a ring
+    EXPECT_EQ(codec.holder_bits(), holder);
+    EXPECT_EQ(codec.nr_bits(), nr);
+    EXPECT_EQ(codec.rank_bits(0), 2u);
+    EXPECT_EQ(codec.request_bits(0), 2u);
+    EXPECT_EQ(codec.key_bits(),
+              static_cast<std::size_t>(n) * (holder + nr + 2 + 2 * 2) +
+                  static_cast<std::size_t>(n) * 4);
+  }
+}
+
+TEST(KeyCodec, LayoutWidthsChord) {
+  // ring_with_chord(k): k + 1 philosophers over k forks; forks 0 and k/2
+  // have degree 3 (the Theorem 1 premise), the rest degree 2.
+  for (const int k : {4, 6, 64}) {
+    const auto t = graph::ring_with_chord(k);
+    const KeyCodec codec(*algos::make_algorithm("lr2"), t);
+    SCOPED_TRACE(t.name());
+    const auto phils = static_cast<unsigned>(k + 1);
+    const unsigned holder = std::bit_width(phils);
+    std::size_t fork_bits = 0;
+    for (ForkId f = 0; f < t.num_forks(); ++f) {
+      const auto deg = static_cast<unsigned>(t.degree(f));
+      EXPECT_EQ(codec.request_bits(f), deg);
+      EXPECT_EQ(codec.rank_bits(f), static_cast<unsigned>(std::bit_width(deg)));
+      fork_bits += holder + deg + deg * static_cast<unsigned>(std::bit_width(deg));
+    }
+    EXPECT_EQ(codec.key_bits(), fork_bits + phils * 4);
+  }
+}
+
+TEST(KeyCodec, LayoutWidthsSharedFork) {
+  // star(n): the center fork is shared by all n philosophers, leaves have
+  // degree 1 — the widest books layout the degree cap admits at n = 64.
+  for (const int n : {3, 5, 64}) {
+    const auto t = graph::star(n);
+    const KeyCodec codec(*algos::make_algorithm("lr2"), t);
+    SCOPED_TRACE(t.name());
+    const auto nu = static_cast<unsigned>(n);
+    const unsigned holder = std::bit_width(nu);
+    const unsigned center_rank = std::bit_width(nu);
+    // center: holder + n request bits + n ranks; each leaf: holder + 1 + 1.
+    const std::size_t expect_bits = (holder + nu + nu * center_rank) +
+                                    nu * (holder + 1 + 1) + nu * 4;
+    EXPECT_EQ(codec.request_bits(0), nu);
+    EXPECT_EQ(codec.rank_bits(0), center_rank);
+    EXPECT_EQ(codec.key_bits(), expect_bits);
+  }
+}
+
+// --- The memory claim the refactor was for. ---
+
+TEST(KeyCodec, PackedKeysAtLeastHalveLr2Parallel4Keys) {
+  const auto t = graph::parallel_arcs(4);
+  const KeyCodec codec(*algos::make_algorithm("lr2"), t);
+  // Legacy: 2 forks x (12 + 4 ranks) + 4 phils x 4 = 48 bytes (plus the
+  // byte-vector's own heap block and capacity). Packed: one 8-byte word.
+  EXPECT_EQ(codec.legacy_key_bytes(), 48u);
+  EXPECT_EQ(codec.key_bytes(), 8u);
+  EXPECT_GE(codec.legacy_key_bytes(), 2 * codec.key_bytes());
+}
+
+TEST(KeyCodec, InlineBufferCoversTheBenchFamilies) {
+  // The families the benches model-check stay within the inline words — no
+  // per-key heap allocation on those hot paths.
+  for (const auto& [algo, t] : std::vector<std::pair<std::string, graph::Topology>>{
+           {"lr2", graph::parallel_arcs(4)},
+           {"gdp2", graph::classic_ring(5)},
+           {"lr1", graph::fig1a()},
+           {"gdp1", graph::theta(1, 1, 2)}}) {
+    const KeyCodec codec(*algos::make_algorithm(algo), t);
+    EXPECT_LE(codec.key_words(), PackedKey::kInlineWords) << algo << " on " << t.name();
+  }
+}
+
+// --- Degree-cap regression (the legacy encode size byte). ---
+
+TEST(KeyCodec, BooksAtTheDegreeCap64) {
+  // star(64): center fork degree 64 — the books-enabled cap. The guest
+  // book must survive a full round of uses through both encodings.
+  const auto t = graph::star(64);
+  const auto lr2 = algos::make_algorithm("lr2");
+  const KeyCodec codec(*lr2, t);
+
+  sim::SimState state = lr2->initial_state(t);
+  for (PhilId p = 0; p < t.num_phils(); ++p) {
+    sim::mark_used(state, t, 0, p);
+    state.fork(0).requests |= std::uint64_t{1} << t.slot_of(0, p);
+  }
+  // Every rank distinct, all 64 request bits set: the widest center field.
+  PackedKey key;
+  codec.encode(state, key);
+  EXPECT_EQ(codec.decode(key), state);
+
+  std::vector<std::uint8_t> legacy;
+  state.encode(legacy);  // size byte 64: fine
+  EXPECT_EQ(legacy.size(), codec.legacy_key_bytes());
+}
+
+// (The legacy-encode size-byte regression lives in test_state.cpp, next to
+// the other SimState::encode tests.)
+
+TEST(KeyCodec, RefusesOutOfContractFields) {
+  const auto t = graph::classic_ring(3);
+  const auto lr1 = algos::make_algorithm("lr1");
+  const KeyCodec codec(*lr1, t);
+
+  // A scratch word has no field in the layout: encode must refuse rather
+  // than alias.
+  sim::SimState state = lr1->initial_state(t);
+  state.phil(0).scratch = 1;
+  PackedKey key;
+  EXPECT_THROW(codec.encode(state, key), PreconditionError);
+
+  // Aux words outside [-1, n-1] are outside the init_aux contract.
+  const auto ticket = algos::make_algorithm("ticket");
+  const KeyCodec ticket_codec(*ticket, t);
+  sim::SimState boxed = ticket->initial_state(t);
+  boxed.aux[0] = t.num_phils();
+  EXPECT_THROW(ticket_codec.encode(boxed, key), PreconditionError);
+
+  // Decoding a key of the wrong width is refused, as is an unset codec.
+  EXPECT_THROW(codec.decode(PackedKey(codec.key_words() + 1)), PreconditionError);
+  EXPECT_THROW(KeyCodec().decode(PackedKey(1)), PreconditionError);
+}
+
+TEST(PackedKey, ValueSemanticsAcrossTheHeapBoundary) {
+  // Inline (1 word) and heap (> kInlineWords) keys: copy, move, equality.
+  PackedKey small(1);
+  small.data()[0] = 0xdeadbeefULL;
+  PackedKey small2 = small;
+  EXPECT_TRUE(small == small2);
+  small2.data()[0] ^= 1;
+  EXPECT_FALSE(small == small2);
+
+  PackedKey big(PackedKey::kInlineWords + 2);
+  for (std::size_t i = 0; i < big.words(); ++i) big.data()[i] = 0x1111ULL * (i + 1);
+  PackedKey big2 = big;
+  EXPECT_TRUE(big == big2);
+  const PackedKey big3 = std::move(big2);
+  EXPECT_TRUE(big == big3);
+  EXPECT_FALSE(big == small);
+
+  // Distinct widths never compare equal, even when the prefix matches.
+  PackedKey two(2);
+  two.data()[0] = small.data()[0];
+  EXPECT_FALSE(two == small);
+
+  // Assignment across the inline/heap boundary in both directions.
+  PackedKey k = big;
+  k = small;
+  EXPECT_TRUE(k == small);
+  k = big;
+  EXPECT_TRUE(k == big);
+}
+
+}  // namespace
+}  // namespace gdp::mdp

@@ -5,7 +5,9 @@
 // thread count, including oversubscribed pools with stealing in play.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -178,6 +180,79 @@ TEST(ParExplore, TruncationReplayMidBfs) {
   expect_par_equals_seq("gdp1", graph::classic_ring(3), 5'000);
   expect_par_equals_seq("ticket", graph::fig1a(), 2'000);
   expect_par_equals_seq("lr2", graph::parallel_arcs(3), 9'999);
+}
+
+// --- Epilogue pins: the renumbering/assembly and reachable-state sweeps
+// run on the pool, so cap-truncated and subset-mask results are re-checked
+// byte-for-byte against the sequential engine at every thread count. ---
+
+TEST(ParExplore, EpilogueTruncationPinsAcrossThreadCounts) {
+  struct Case {
+    const char* algo;
+    graph::Topology t;
+    std::size_t cap;
+  };
+  const Case cases[] = {{"gdp2", graph::classic_ring(3), 20'000},
+                        {"lr2", graph::parallel_arcs(4), 12'000},
+                        {"gdp1", graph::ring_with_pendant(3), 8'000}};
+  const int hw = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  for (const Case& c : cases) {
+    SCOPED_TRACE(std::string(c.algo) + " on " + c.t.name() + " cap " + std::to_string(c.cap));
+    const auto algo = algos::make_algorithm(c.algo);
+    StateIndex seq_index;
+    const Model seq = explore_indexed(*algo, c.t, c.cap, seq_index);
+    ASSERT_TRUE(seq.truncated());
+    for (const int threads : {1, 2, hw}) {
+      par::CheckOptions opts;
+      opts.threads = threads;
+      opts.max_states = c.cap;
+      StateIndex par_index;
+      const Model par_model = par::explore_indexed(*algo, c.t, par_index, opts);
+      expect_models_bit_identical(seq, par_model, threads);
+      ASSERT_EQ(seq_index.size(), par_index.size());
+      for (const auto& [key, id] : seq_index) {
+        const auto it = par_index.find(key);
+        ASSERT_NE(it, par_index.end());
+        EXPECT_EQ(it->second, id);
+      }
+    }
+  }
+}
+
+TEST(ParExplore, EpilogueSubsetMaskPinsAcrossThreadCounts) {
+  const auto t = graph::ring_with_pendant(3);
+  const auto algo = algos::make_algorithm("lr1");
+  const Model seq = explore(*algo, t);
+  const int hw = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  for (const int threads : {1, 2, hw}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    par::CheckOptions opts;
+    opts.threads = threads;
+    opts.seq_mec_threshold = 1;  // force the parallel MEC + reachable sweep
+    opts.seq_scc_region = 64;
+    const Model par_model = par::explore(*algo, t, opts);
+    expect_models_bit_identical(seq, par_model, threads);
+    for (const std::uint64_t mask : {std::uint64_t{0b0111}, std::uint64_t{0b1000},
+                                     ~std::uint64_t{0}}) {
+      expect_results_identical(check_fair_progress(seq, mask),
+                               par::check_fair_progress(par_model, mask, opts));
+    }
+  }
+}
+
+TEST(ParExplore, ParallelReachableSweepMatchesSequential) {
+  // Directly pin par::reachable_states (used by every parallel verdict)
+  // against the sequential sweep, with the thresholds forced low enough
+  // that the level-synchronous BFS actually fans out.
+  const auto algo = algos::make_algorithm("gdp2");
+  const Model model = explore(*algo, graph::classic_ring(3));
+  const auto seq = reachable_states(model);
+  for (const int threads : {2, 4}) {
+    par::CheckOptions opts;
+    opts.threads = threads;
+    opts.seq_mec_threshold = 1;
+    EXPECT_EQ(par::reachable_states(model, opts), seq) << "threads=" << threads;
+  }
 }
 
 TEST(ParExplore, SubsetMasksAgree) {

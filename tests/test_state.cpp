@@ -2,6 +2,7 @@
 // invariants.
 #include <gtest/gtest.h>
 
+#include "gdp/common/check.hpp"
 #include "gdp/graph/builders.hpp"
 #include "gdp/sim/state.hpp"
 
@@ -119,6 +120,30 @@ TEST(Encode, DistinctStatesDistinctBytes) {
   b.aux.push_back(5);
   b.encode(eb);
   EXPECT_NE(ea, eb);
+}
+
+TEST(Encode, GuestBookAtDegreeCap64RoundTripsTheSizeByte) {
+  // star(64): the center fork carries a 64-slot guest book — the
+  // books-enabled degree cap. The single size byte must hold it exactly.
+  const auto t = graph::star(64);
+  SimState s = blank(t, /*books=*/true);
+  for (PhilId p = 0; p < t.num_phils(); ++p) mark_used(s, t, 0, p);
+  std::vector<std::uint8_t> bytes;
+  s.encode(bytes);
+  // ... size byte (64) followed by 64 dense ranks, inside the fork-0 block.
+  EXPECT_EQ(bytes[11], 64u);
+  EXPECT_TRUE(check_invariants(s, t).empty());
+}
+
+TEST(Encode, RefusesRankVectorsBeyondTheSizeByte) {
+  // Regression: >255 rank slots used to truncate the size byte and alias
+  // distinct states; encode must refuse instead. Unreachable through the
+  // algorithms (books cap degree at 64) — build the state by hand.
+  const auto t = graph::classic_ring(3);
+  SimState s = blank(t);
+  s.fork(0).use_rank.assign(300, 0);
+  std::vector<std::uint8_t> bytes;
+  EXPECT_THROW(s.encode(bytes), PreconditionError);
 }
 
 TEST(Queries, EatingAndTrying) {

@@ -112,12 +112,12 @@ TEST(Witness, ExplorerIndexRoundTrips) {
   StateIndex index;
   const Model model = explore_indexed(*lr1, t, 1'000'000, index);
   EXPECT_EQ(index.size(), model.num_states());
-  // The initial state's encoding maps to id 0.
-  std::vector<std::uint8_t> key;
-  lr1->initial_state(t).encode(key);
-  const auto it = index.find(key);
+  // The initial state's packed encoding maps to id 0, and the stored key
+  // decodes back to the initial configuration.
+  const auto it = index.find(lr1->initial_state(t));
   ASSERT_NE(it, index.end());
   EXPECT_EQ(it->second, model.initial());
+  EXPECT_EQ(index.codec().decode(it->first), lr1->initial_state(t));
 }
 
 TEST(Witness, RejectsEmptyComponent) {
