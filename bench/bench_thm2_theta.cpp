@@ -20,6 +20,8 @@
 #include "gdp/graph/algorithms.hpp"
 #include "gdp/graph/builders.hpp"
 #include "gdp/mdp/par/par.hpp"
+#include "gdp/mdp/quant/quant.hpp"
+#include "gdp/sim/state.hpp"
 
 using namespace gdp;
 
@@ -39,28 +41,60 @@ int main(int argc, char** argv) {
   opts.threads = threads;
   opts.max_states = 3'000'000;
 
-  std::printf("(a) model-checked verdicts (gdp::mdp::par, threads=%d [0=hw]):\n", threads);
-  stats::Table verdicts({"topology", "thm2 premise", "lr2 verdict", "gdp2 verdict"});
+  std::printf("(a) model-checked verdicts + quantitative bounds (gdp::mdp::par + gdp::mdp::quant,\n"
+              "    threads=%d [0=hw]):\n", threads);
+  stats::Table verdicts({"topology", "thm2 premise", "lr2 verdict", "lr2 Pmin", "lr2 E[max]",
+                         "gdp2 verdict", "gdp2 Pmin", "gdp2 E[max]"});
   const graph::Topology cases[] = {graph::classic_ring(3), graph::ring_with_pendant(3),
                                    graph::parallel_arcs(3), graph::parallel_arcs(4),
                                    graph::theta(1, 1, 2)};
   const bench::Stopwatch model_check_clock;
   for (const auto& t : cases) {
     const bool premise = graph::thm2_premise(t).has_value();
-    const auto lr2 = mdp::par::check_fair_progress(*algos::make_algorithm("lr2"), t, opts);
-    const auto gdp2 = mdp::par::check_fair_progress(*algos::make_algorithm("gdp2"), t, opts);
     auto verdict_str = [](const mdp::FairProgressResult& r) {
       if (r.verdict == mdp::Verdict::kUnknownTruncated) return std::string("unknown");
       return std::string(r.holds() ? "progress" : "FAILS");
     };
-    verdicts.add_row({t.name(), premise ? "yes" : "no", verdict_str(lr2), verdict_str(gdp2)});
+    auto prob_str = [](const mdp::quant::Interval& iv) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.4f", (iv.lower + iv.upper) / 2);
+      return std::string(buf);
+    };
+    auto time_str = [](const mdp::quant::Interval& iv) {
+      if (!iv.finite()) return std::string("inf");
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.1f", (iv.lower + iv.upper) / 2);
+      return std::string(buf);
+    };
+    std::vector<std::string> row{t.name(), premise ? "yes" : "no"};
+    for (const char* name : {"lr2", "gdp2"}) {
+      const auto algo = algos::make_algorithm(name);
+      const auto model = mdp::par::explore(*algo, t, opts);
+      const auto verdict = mdp::par::check_fair_progress(model, ~std::uint64_t{0}, opts);
+      mdp::quant::QuantOptions qopts;
+      qopts.threads = opts.threads;
+      qopts.max_states = opts.max_states;
+      const auto q = mdp::quant::analyze(model, ~std::uint64_t{0}, qopts);
+      row.push_back(verdict_str(verdict));
+      row.push_back(model.truncated() ? "unknown" : prob_str(q.p_min));
+      row.push_back(model.truncated() ? "unknown" : time_str(q.e_max));
+      // Machine-readable quantitative verdicts for BENCH json tracking.
+      std::printf("  BENCH quant model=%s/%s threads=%d states=%zu certainty=%s "
+                  "pmin=[%.9f,%.9f] pmax=[%.9f,%.9f] ptrap=[%.9f,%.9f] "
+                  "emin=[%g,%g] emax=[%g,%g] sweeps=%zu\n",
+                  name, t.name().c_str(), threads, model.num_states(),
+                  mdp::quant::to_string(q.certainty), q.p_min.lower, q.p_min.upper,
+                  q.p_max.lower, q.p_max.upper, q.p_trap.lower, q.p_trap.upper, q.e_min.lower,
+                  q.e_min.upper, q.e_max.lower, q.e_max.upper, q.sweeps);
+    }
+    verdicts.add_row(row);
   }
   verdicts.print();
-  std::printf("  model-check phase wall time: %.2fs\n", model_check_clock.seconds());
+  std::printf("  model-check + quant phase wall time: %.2fs\n", model_check_clock.seconds());
 
-  std::printf("\n(b) packed state keys (gdp::mdp::KeyCodec): intern-table memory:\n");
+  std::printf("\n(b) packed state keys (gdp::mdp::KeyCodec): intern-table + frontier memory:\n");
   stats::Table keys({"model", "states", "B/state packed", "B/state legacy", "ratio",
-                     "peak intern key bytes"});
+                     "peak intern key bytes", "frontier B/item", "was (SimState)"});
   struct KeyCase {
     const char* algo;
     graph::Topology t;
@@ -68,30 +102,51 @@ int main(int argc, char** argv) {
   const KeyCase key_cases[] = {{"lr2", graph::parallel_arcs(4)},
                                {"gdp2", graph::classic_ring(3)},
                                {"lr2", graph::parallel_arcs(3)}};
+  // Heap footprint of one SimState of this shape — what every frontier item
+  // and replay slot carried by value before the explorers switched to
+  // decode-on-demand packed keys.
+  auto sim_state_bytes = [](const sim::SimState& s) {
+    std::size_t b = sizeof(sim::SimState);
+    b += s.forks.capacity() * sizeof(sim::ForkState);
+    for (const auto& f : s.forks) b += f.use_rank.capacity() * sizeof(std::uint8_t);
+    b += s.phils.capacity() * sizeof(sim::PhilState);
+    b += s.aux.capacity() * sizeof(std::int32_t);
+    return b;
+  };
   // On the multi-threaded indexed path every key transiently exists twice
   // (the intern shards are still live while merge_into fills the returned
   // StateIndex), so the honest peak doubles the per-state footprint there.
   const bool parallel_path = common::effective_threads(opts.threads, ~std::size_t{0}) > 1;
   for (const KeyCase& kc : key_cases) {
+    const auto algo = algos::make_algorithm(kc.algo);
     mdp::StateIndex index;
-    const auto model = mdp::par::explore_indexed(*algos::make_algorithm(kc.algo), kc.t, index, opts);
+    const auto model = mdp::par::explore_indexed(*algo, kc.t, index, opts);
     const auto& codec = index.codec();
     const std::size_t packed = codec.key_bytes();
     const std::size_t legacy = codec.legacy_key_bytes();
     const std::size_t copies = parallel_path ? 2 : 1;
     const std::size_t peak_packed = index.size() * packed * copies;
     const std::size_t peak_legacy = index.size() * legacy * copies;
+    // A frontier item is one provisional id plus the packed key (wide
+    // layouts spill to a heap block of exactly key_bytes()).
+    const std::size_t frontier_item =
+        sizeof(std::uint32_t) + sizeof(mdp::PackedKey) +
+        (codec.key_words() > mdp::PackedKey::kInlineWords ? codec.key_bytes() : 0);
+    const std::size_t frontier_was =
+        sizeof(std::uint32_t) + sim_state_bytes(algo->initial_state(kc.t));
     char ratio[32];
     std::snprintf(ratio, sizeof ratio, "%.1fx", static_cast<double>(legacy) / packed);
     keys.add_row({std::string(kc.algo) + "/" + kc.t.name(), std::to_string(model.num_states()),
                   std::to_string(packed), std::to_string(legacy), ratio,
-                  std::to_string(peak_packed) + " (was " + std::to_string(peak_legacy) + ")"});
+                  std::to_string(peak_packed) + " (was " + std::to_string(peak_legacy) + ")",
+                  std::to_string(frontier_item), std::to_string(frontier_was)});
     // Machine-readable line for BENCH json tracking of the memory win.
     std::printf("  BENCH key_bytes model=%s/%s states=%zu packed_bytes_per_state=%zu "
                 "legacy_bytes_per_state=%zu peak_intern_key_bytes=%zu "
-                "final_intern_key_bytes=%zu\n",
+                "final_intern_key_bytes=%zu frontier_item_bytes=%zu "
+                "frontier_item_bytes_legacy=%zu\n",
                 kc.algo, kc.t.name().c_str(), model.num_states(), packed, legacy, peak_packed,
-                index.size() * packed);
+                index.size() * packed, frontier_item, frontier_was);
   }
   keys.print();
 

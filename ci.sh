@@ -33,9 +33,9 @@ if [[ "${SANITIZE}" == 1 ]]; then
   cmake -B build/tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGDP_SANITIZE_THREAD=ON \
     -DGDP_BUILD_BENCH=OFF -DGDP_BUILD_EXAMPLES=OFF
   echo "=== tsan: build ==="
-  cmake --build build/tsan -j "${JOBS}" --target test_mdp_par test_exp test_key
-  echo "=== tsan: ctest (test_mdp_par + test_exp + test_key) ==="
-  ctest --test-dir build/tsan --output-on-failure -R 'test_mdp_par|test_exp|test_key'
+  cmake --build build/tsan -j "${JOBS}" --target test_mdp_par test_exp test_key test_quant
+  echo "=== tsan: ctest (test_mdp_par + test_exp + test_key + test_quant) ==="
+  ctest --test-dir build/tsan --output-on-failure -R 'test_mdp_par|test_exp|test_key|test_quant'
 fi
 
 echo "=== CI green ==="

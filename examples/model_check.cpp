@@ -13,6 +13,7 @@
 #include "gdp/graph/builders.hpp"
 #include "gdp/mdp/chain_analysis.hpp"
 #include "gdp/mdp/par/par.hpp"
+#include "gdp/mdp/quant/quant.hpp"
 #include "gdp/sim/engine.hpp"
 
 using namespace gdp;
@@ -69,6 +70,30 @@ int main(int argc, char** argv) {
     const auto lf = mdp::par::check_lockout_freedom(model, v, opts);
     std::printf("  P%d: %s\n", v, lf.summary().c_str());
   }
+
+  // Certified two-sided bounds over every fair adversary (interval
+  // iteration on the MEC quotient; see gdp/mdp/quant/quant.hpp).
+  mdp::quant::QuantOptions qopts;
+  qopts.threads = opts.threads;
+  qopts.max_states = max_states;
+  const auto quant = mdp::quant::analyze(model, ~std::uint64_t{0}, qopts);
+  auto interval = [](const mdp::quant::Interval& iv) -> std::string {
+    char buf[64];
+    if (iv.lower == iv.upper && !iv.finite()) return "inf (certified)";
+    if (!iv.finite()) {
+      std::snprintf(buf, sizeof buf, "[%.6f, inf)", iv.lower);
+      return buf;
+    }
+    std::snprintf(buf, sizeof buf, "[%.6f, %.6f]", iv.lower, iv.upper);
+    return buf;
+  };
+  std::printf("\nQuantitative bounds (all fair adversaries, gdp::mdp::quant):\n");
+  std::printf("  certainty                   = %s\n", mdp::quant::to_string(quant.certainty));
+  std::printf("  Pmin(reach eating)          = %s\n", interval(quant.p_min).c_str());
+  std::printf("  Pmax(reach eating)          = %s\n", interval(quant.p_max).c_str());
+  std::printf("  Pmax(reach fair trap)       = %s\n", interval(quant.p_trap).c_str());
+  std::printf("  E[steps to meal, best]      = %s\n", interval(quant.e_min).c_str());
+  std::printf("  E[productive steps, worst]  = %s\n", interval(quant.e_max).c_str());
 
   const auto chain = mdp::analyze_uniform_chain(model);
   std::printf("\nUniform fair scheduler (quantitative):\n");

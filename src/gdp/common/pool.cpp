@@ -1,6 +1,8 @@
 #include "gdp/common/pool.hpp"
 
+#include <algorithm>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -90,6 +92,27 @@ void parallel_for(std::size_t total, int threads, const std::function<void(std::
       throw;  // run_workers records and rethrows the first one
     }
   });
+}
+
+double parallel_chunk_max(std::size_t total, int threads,
+                          const std::function<double(std::size_t, std::size_t)>& body) {
+  constexpr std::size_t kChunk = 4'096;  // boundaries depend on total only
+  if (total == 0) return -std::numeric_limits<double>::infinity();
+  const std::size_t chunks = (total + kChunk - 1) / kChunk;
+  if (chunks == 1 || effective_threads(threads, chunks) <= 1) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < chunks; ++c) {
+      best = std::max(best, body(c * kChunk, std::min(total, (c + 1) * kChunk)));
+    }
+    return best;
+  }
+  std::vector<double> partial(chunks, -std::numeric_limits<double>::infinity());
+  parallel_for(chunks, threads, [&](std::uint32_t c) {
+    partial[c] = body(std::size_t{c} * kChunk, std::min(total, (std::size_t{c} + 1) * kChunk));
+  });
+  double best = partial[0];
+  for (std::size_t c = 1; c < chunks; ++c) best = std::max(best, partial[c]);
+  return best;
 }
 
 }  // namespace gdp::common

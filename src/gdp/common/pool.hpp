@@ -114,4 +114,15 @@ void run_workers(unsigned threads, const std::function<void(unsigned)>& body);
 /// fn must be safe to call concurrently for distinct ids. total < 2^32.
 void parallel_for(std::size_t total, int threads, const std::function<void(std::uint32_t)>& fn);
 
+/// Deterministic parallel max-reduction over contiguous index chunks:
+/// partitions [0, total) into fixed chunks (boundaries depend only on
+/// `total`, never on the worker count), runs body(lo, hi) per chunk on the
+/// pool, and folds the per-chunk results in ascending chunk order. Because
+/// IEEE max is associative and commutative and the fold order is pinned,
+/// the result is bit-identical at every thread count — the reduction the
+/// quantitative checker's Bellman sweeps use for residuals and interval
+/// widths. Returns -inf for total == 0.
+double parallel_chunk_max(std::size_t total, int threads,
+                          const std::function<double(std::size_t, std::size_t)>& body);
+
 }  // namespace gdp::common

@@ -1,3 +1,4 @@
+#include <cmath>
 #include <deque>
 
 #include "gdp/common/check.hpp"
@@ -82,6 +83,54 @@ Model detail_explore(const algos::Algorithm& algo, const graph::Topology& t,
   model.offsets_ = std::move(offsets);
 
   if (index_out != nullptr) *static_cast<StateIndex*>(index_out) = std::move(index);
+  return model;
+}
+
+Model Model::build(int num_phils, std::vector<std::uint64_t> offsets,
+                   std::vector<Outcome> outcomes, std::vector<std::uint64_t> eaters,
+                   std::vector<bool> frontier, bool truncated) {
+  GDP_CHECK_MSG(num_phils > 0, "Model::build needs at least one philosopher");
+  const std::size_t n = eaters.size();
+  GDP_CHECK_MSG(n > 0, "Model::build needs at least one state");
+  GDP_CHECK_MSG(frontier.size() == n, "Model::build: frontier/eaters size mismatch");
+  GDP_CHECK_MSG(offsets.size() == n * static_cast<std::size_t>(num_phils) + 1,
+                "Model::build: offsets must have num_states * num_phils + 1 entries, got "
+                    << offsets.size());
+  GDP_CHECK_MSG(offsets.front() == 0 && offsets.back() == outcomes.size(),
+                "Model::build: offsets must start at 0 and end at outcomes.size()");
+  for (std::size_t r = 0; r + 1 < offsets.size(); ++r) {
+    GDP_CHECK_MSG(offsets[r] <= offsets[r + 1], "Model::build: offsets not monotone at row " << r);
+  }
+  for (StateId s = 0; s < n; ++s) {
+    if (!frontier[s]) continue;
+    const std::size_t base = static_cast<std::size_t>(s) * static_cast<std::size_t>(num_phils);
+    GDP_CHECK_MSG(offsets[base] == offsets[base + static_cast<std::size_t>(num_phils)],
+                  "Model::build: frontier state " << s << " must have empty rows");
+  }
+  for (const Outcome& o : outcomes) {
+    GDP_CHECK_MSG(o.next < n, "Model::build: outcome targets unknown state " << o.next);
+    GDP_CHECK_MSG(o.prob > 0.0f && o.prob <= 1.0f,
+                  "Model::build: outcome probability " << o.prob << " outside (0, 1]");
+  }
+  // Rows must be distributions: the quantitative checker's soundness
+  // arguments (clamps, OVI verification) assume (sub)stochastic rows.
+  for (std::size_t r = 0; r + 1 < offsets.size(); ++r) {
+    if (offsets[r] == offsets[r + 1]) continue;
+    double mass = 0.0;
+    for (std::size_t i = offsets[r]; i < offsets[r + 1]; ++i) {
+      mass += static_cast<double>(outcomes[i].prob);
+    }
+    GDP_CHECK_MSG(std::abs(mass - 1.0) <= 1e-4,
+                  "Model::build: row " << r << " probabilities sum to " << mass << ", expected 1");
+  }
+
+  Model model;
+  model.num_phils_ = num_phils;
+  model.offsets_ = std::move(offsets);
+  model.outcomes_ = std::move(outcomes);
+  model.eaters_ = std::move(eaters);
+  model.frontier_ = std::move(frontier);
+  model.truncated_ = truncated;
   return model;
 }
 

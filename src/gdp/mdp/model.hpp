@@ -56,6 +56,17 @@ class Model {
   /// Total number of (state, action) rows, for reporting.
   std::size_t num_rows() const { return num_states() * static_cast<std::size_t>(num_phils_); }
 
+  /// Assembles a Model directly from its CSR parts — the hand-built-MDP
+  /// entry point for tests and external tooling (the quantitative checker's
+  /// unit tests feed 2-3-state systems with known values through this).
+  /// `offsets` must have num_states * num_phils + 1 monotone entries ending
+  /// at outcomes.size(); frontier states must have empty rows; every
+  /// outcome's `next` must be a valid state id. Throws PreconditionError on
+  /// violations.
+  static Model build(int num_phils, std::vector<std::uint64_t> offsets,
+                     std::vector<Outcome> outcomes, std::vector<std::uint64_t> eaters,
+                     std::vector<bool> frontier, bool truncated = false);
+
  private:
   friend Model detail_explore(const algos::Algorithm&, const graph::Topology&, std::size_t,
                               void* index_out);

@@ -56,11 +56,14 @@ struct Expansion {
   std::vector<std::uint32_t> row_ends;   // per philosopher, end index in outcomes
 };
 
-/// A frontier entry carries the state by value so a thief can expand it
-/// without touching the owner's storage.
+/// A frontier entry carries the packed exploration key — a few words —
+/// instead of a full SimState; the expanding worker (owner or thief)
+/// re-derives the state with KeyCodec::decode. Decoding costs about as
+/// much as the SimState copy it replaces, and the frontier shrinks to the
+/// same fixed-width footprint the intern tables got in PR 4.
 struct Item {
   std::uint32_t prov = 0;
-  sim::SimState state;
+  PackedKey key;
 };
 
 /// Per-worker frontier: a mutex-guarded deque. Owners pop oldest-first
@@ -180,26 +183,22 @@ class ModelAssembler {
   /// Cap-hitting fallback: reproduces mdp::explore's truncated model bit
   /// for bit by running the sequential breadth-first loop, but serving
   /// expansions from the parallel phase's logs wherever they exist — the
-  /// algorithm only steps for states the parallel phase never expanded
-  /// (whose SimStates are still parked in the leftover frontiers).
+  /// algorithm only steps for states the parallel phase never expanded,
+  /// re-derived from their packed keys with KeyCodec::decode (the replay
+  /// keeps one PackedKey per state instead of a SimState copy).
   static Model replay_truncated(const algos::Algorithm& algo, const graph::Topology& t,
                                 const KeyCodec& codec, std::size_t max_states,
                                 StateIndex* index_out, const InternShards& interned,
-                                const std::vector<Frontier>& frontiers,
                                 const std::vector<std::vector<Expansion>>& logs) {
     const int n = t.num_phils();
     const std::size_t total_prov = interned.count();
 
     // Provisional-world lookups. Invariant of the parallel phase: every
-    // provisional state either has a recorded expansion or still sits in
-    // some frontier with its SimState.
+    // provisional state has an interned key; expanded ones also have a
+    // recorded expansion (the rest decode their key on demand).
     std::vector<const Expansion*> exp_of(total_prov, nullptr);
     for (const auto& log : logs) {
       for (const Expansion& e : log) exp_of[e.prov] = &e;
-    }
-    std::vector<const sim::SimState*> state_of(total_prov, nullptr);
-    for (const Frontier& f : frontiers) {
-      for (const Item& item : f.items) state_of[item.prov] = &item.state;
     }
     std::vector<const PackedKey*> key_of(total_prov, nullptr);
     interned.for_each([&](const PackedKey& key, StateId prov) { key_of[prov] = &key; });
@@ -209,7 +208,7 @@ class ModelAssembler {
     StateIndex index;
     index.reset(codec);
     std::vector<std::int64_t> prov_of_id;  // replay id -> provisional id (or -1)
-    std::vector<sim::SimState> states;     // replay id -> state (placeholder when cached)
+    std::vector<PackedKey> keys;           // replay id -> key (decoded on demand)
     std::deque<StateId> frontier;
 
     // The sequential intern, cross-linked with the provisional world so
@@ -224,15 +223,19 @@ class ModelAssembler {
       } else {
         key = key_of[static_cast<std::size_t>(prov)];
       }
-      const auto [it, inserted] = index.try_emplace(*key, static_cast<StateId>(states.size()));
+      const auto [it, inserted] = index.try_emplace(*key, static_cast<StateId>(keys.size()));
       if (!inserted) return it->second;
       if (prov < 0) prov = interned.find(*key);
-      if (s == nullptr && prov >= 0) s = state_of[static_cast<std::size_t>(prov)];
       prov_of_id.push_back(prov);
-      states.push_back(s != nullptr ? *s : sim::SimState{});
-      model.eaters_.push_back(s != nullptr
-                                  ? sim::eater_mask(*s)
-                                  : exp_of[static_cast<std::size_t>(prov)]->eaters);
+      keys.push_back(*key);
+      std::uint64_t eaters;
+      if (s != nullptr) {
+        eaters = sim::eater_mask(*s);
+      } else {
+        const Expansion* cached = exp_of[static_cast<std::size_t>(prov)];
+        eaters = cached != nullptr ? cached->eaters : sim::eater_mask(codec.decode(*key));
+      }
+      model.eaters_.push_back(eaters);
       model.frontier_.push_back(true);
       frontier.push_back(it->second);
       return it->second;
@@ -245,7 +248,7 @@ class ModelAssembler {
 
     while (!frontier.empty()) {
       const StateId id = frontier.front();
-      if (states.size() >= max_states) {
+      if (keys.size() >= max_states) {
         model.truncated_ = true;
         break;
       }
@@ -266,7 +269,7 @@ class ModelAssembler {
           begin = end;
         }
       } else {
-        const sim::SimState state = states[id];  // copy: `states` may reallocate
+        const sim::SimState state = codec.decode(keys[id]);
         for (PhilId p = 0; p < n; ++p) {
           const std::vector<sim::Branch> branches = algo.step(t, state, p);
           for (const sim::Branch& b : branches) {
@@ -373,7 +376,7 @@ Model detail_par_explore(const algos::Algorithm& algo, const graph::Topology& t,
     GDP_DCHECK(inserted && prov == 0);
     if (interned.count() >= options.max_states) return sequential();
     pending.store(1, std::memory_order_relaxed);
-    frontiers[0].push(Item{prov, initial});
+    frontiers[0].push(Item{prov, std::move(key)});
   }
 
   common::run_workers(n, [&](unsigned me) {
@@ -402,12 +405,13 @@ Model detail_par_explore(const algos::Algorithm& algo, const graph::Topology& t,
         }
         backoff.reset();
 
+        const sim::SimState state = codec.decode(item->key);
         Expansion e;
         e.prov = item->prov;
-        e.eaters = sim::eater_mask(item->state);
+        e.eaters = sim::eater_mask(state);
         e.row_ends.reserve(static_cast<std::size_t>(num_phils));
         for (PhilId p = 0; p < num_phils; ++p) {
-          const std::vector<sim::Branch> branches = algo.step(t, item->state, p);
+          const std::vector<sim::Branch> branches = algo.step(t, state, p);
           for (const sim::Branch& b : branches) {
             codec.encode(b.next, key);
             const auto [prov, inserted] = interned.intern(key);
@@ -420,7 +424,7 @@ Model detail_par_explore(const algos::Algorithm& algo, const graph::Topology& t,
                 abort.store(true, std::memory_order_relaxed);
               }
               pending.fetch_add(1, std::memory_order_relaxed);
-              frontiers[me].push(Item{prov, b.next});
+              frontiers[me].push(Item{prov, key});
             }
             e.outcomes.push_back(ProvOutcome{static_cast<float>(b.prob), prov});
           }
@@ -439,7 +443,7 @@ Model detail_par_explore(const algos::Algorithm& algo, const graph::Topology& t,
     // Truncation order is the sequential explorer's; replay it over the
     // recorded expansions instead of re-exploring from scratch.
     return ModelAssembler::replay_truncated(algo, t, codec, options.max_states, index_out,
-                                            interned, frontiers, logs);
+                                            interned, logs);
   }
 
   // --- Epilogue: canonical renumbering + parallel assembly. ---

@@ -1,0 +1,389 @@
+// The quantitative checker's contract: sound certified intervals on
+// hand-computed MDPs, interval-iteration bracket invariants, bit-identical
+// results at every thread count, refusal to certify truncated models, and
+// agreement with the qualitative fair-EC verdicts and the uniform-chain
+// numbers on the paper's instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gdp/algos/algorithm.hpp"
+#include "gdp/graph/builders.hpp"
+#include "gdp/mdp/chain_analysis.hpp"
+#include "gdp/mdp/fair_progress.hpp"
+#include "gdp/mdp/par/par.hpp"
+#include "gdp/mdp/quant/quant.hpp"
+
+namespace gdp::mdp::quant {
+namespace {
+
+constexpr double kInfD = std::numeric_limits<double>::infinity();
+
+/// Hand-built MDP helper: rows in (state-major, philosopher-major) order;
+/// rows[s * num_phils + p] lists that action's (prob, next) outcomes.
+Model hand_model(int num_phils, const std::vector<std::vector<Outcome>>& rows,
+                 std::vector<std::uint64_t> eaters, std::vector<bool> frontier = {},
+                 bool truncated = false) {
+  std::vector<std::uint64_t> offsets{0};
+  std::vector<Outcome> outcomes;
+  for (const auto& row : rows) {
+    for (const Outcome& o : row) outcomes.push_back(o);
+    offsets.push_back(outcomes.size());
+  }
+  if (frontier.empty()) frontier.assign(eaters.size(), false);
+  return Model::build(num_phils, std::move(offsets), std::move(outcomes), std::move(eaters),
+                      std::move(frontier), truncated);
+}
+
+void expect_point(const Interval& iv, double value, double eps = 1e-6) {
+  EXPECT_LE(iv.width(), eps);
+  EXPECT_TRUE(iv.contains(value, 1e-9)) << "[" << iv.lower << ", " << iv.upper << "] vs " << value;
+}
+
+// --- Hand-computed models. -------------------------------------------------
+
+// Two philosophers, two states: s0 -> meal via P0, P1 busy-waits. The
+// {s0, P1} self-loop is an avoiding MEC but not a fair one, so progress is
+// certain; one productive step feeds P0 from anywhere.
+TEST(QuantHand, CertainTwoState) {
+  const Model m = hand_model(2,
+                             {{{1.0f, 1}},          // s0, P0: eat
+                              {{1.0f, 0}},          // s0, P1: busy-wait
+                              {{1.0f, 1}},          // s1, P0
+                              {{1.0f, 1}}},         // s1, P1
+                             {0, 0b01});
+  const QuantResult r = analyze(m);
+  EXPECT_EQ(r.certainty, Certainty::kCertified);
+  EXPECT_TRUE(r.progress_certain());
+  expect_point(r.p_min, 1.0);
+  expect_point(r.p_max, 1.0);
+  expect_point(r.p_trap, 0.0);
+  expect_point(r.e_min, 1.0);
+  expect_point(r.e_max, 1.0);
+  EXPECT_EQ(r.num_avoid_mecs, 1u);       // {s0} through P1's self-loop
+  EXPECT_EQ(r.num_fair_avoid_mecs, 0u);  // P0 has no action inside it
+  EXPECT_FALSE(r.fair_trap_reachable);
+}
+
+// s2 is a fair trap (both philosophers loop inside): scheduling P1 from s0
+// reaches it surely, so the fair-adversary minimum is 0 even though the
+// maximum is 1.
+TEST(QuantHand, FairTrapThreeState) {
+  const Model m = hand_model(2,
+                             {{{1.0f, 1}},   // s0, P0: eat
+                              {{1.0f, 2}},   // s0, P1: into the trap
+                              {{1.0f, 1}},   // s1, P0
+                              {{1.0f, 1}},   // s1, P1
+                              {{1.0f, 2}},   // s2, P0: loop
+                              {{1.0f, 2}}},  // s2, P1: loop
+                             {0, 0b01, 0});
+  const QuantResult r = analyze(m);
+  EXPECT_EQ(r.certainty, Certainty::kCertified);
+  EXPECT_FALSE(r.progress_certain());
+  EXPECT_TRUE(r.fair_trap_reachable);
+  EXPECT_EQ(r.num_fair_avoid_mecs, 1u);
+  expect_point(r.p_min, 0.0);
+  expect_point(r.p_max, 1.0);
+  expect_point(r.p_trap, 1.0);
+  expect_point(r.e_min, 1.0);
+  EXPECT_EQ(r.e_max.lower, kInfD);  // certified infinite
+  EXPECT_EQ(r.e_max.upper, kInfD);
+  // The qualitative checker must agree.
+  EXPECT_EQ(check_fair_progress(m).verdict, Verdict::kProgressFails);
+}
+
+// Geometric meal: P0's action eats with probability 1/2 and retries
+// otherwise, so every expected-time notion is exactly 2; dwell on P1's
+// self-loop is unproductive and does not change the worst case.
+TEST(QuantHand, GeometricLoop) {
+  const Model m = hand_model(2,
+                             {{{0.5f, 1}, {0.5f, 0}},  // s0, P0: coin
+                              {{1.0f, 0}},             // s0, P1: busy-wait
+                              {{1.0f, 1}},             // s1, P0
+                              {{1.0f, 1}}},            // s1, P1
+                             {0, 0b01});
+  const QuantResult r = analyze(m);
+  EXPECT_EQ(r.certainty, Certainty::kCertified);
+  expect_point(r.p_min, 1.0);
+  expect_point(r.p_max, 1.0);
+  expect_point(r.e_min, 2.0);
+  expect_point(r.e_max, 2.0);
+}
+
+// A coin that can land in an absorbing non-eating dead end: every
+// probability is exactly 1/2 and no scheduler reaches the meal surely, so
+// both expected times are certified infinite.
+TEST(QuantHand, HalfTrapHalfMeal) {
+  const Model m = hand_model(2,
+                             {{{0.5f, 1}, {0.5f, 2}},  // s0, P0: coin between meal and trap
+                              {{1.0f, 0}},             // s0, P1: busy-wait
+                              {{1.0f, 1}},             // s1, P0
+                              {{1.0f, 1}},             // s1, P1
+                              {{1.0f, 2}},             // s2, P0: loop
+                              {{1.0f, 2}}},            // s2, P1: loop
+                             {0, 0b01, 0});
+  const QuantResult r = analyze(m);
+  EXPECT_EQ(r.certainty, Certainty::kCertified);
+  expect_point(r.p_min, 0.5);
+  expect_point(r.p_max, 0.5);
+  expect_point(r.p_trap, 0.5);
+  EXPECT_EQ(r.e_min.lower, kInfD);  // Pmax < 1: no scheduler eats surely
+  EXPECT_EQ(r.e_max.lower, kInfD);
+}
+
+// Lockout-style subset target: only P1's meals count. P0 eats and loops
+// back; a fair adversary can starve P1 forever only if some fair avoiding
+// MEC exists — here P1 always gets its meal once scheduled.
+TEST(QuantHand, SubsetTargetMask) {
+  const Model m = hand_model(2,
+                             {{{1.0f, 1}},   // s0, P0: P0 eats
+                              {{1.0f, 2}},   // s0, P1: P1 eats
+                              {{1.0f, 0}},   // s1, P0: back to start
+                              {{1.0f, 2}},   // s1, P1
+                              {{1.0f, 2}},   // s2, P0
+                              {{1.0f, 2}}},  // s2, P1
+                             {0, 0b01, 0b10});
+  const QuantResult whole = analyze(m, ~std::uint64_t{0});
+  expect_point(whole.p_min, 1.0);
+  // Target = P1 only: s1 (P0 eating) is an ordinary state of the fragment.
+  const QuantResult p1 = analyze(m, 0b10);
+  EXPECT_EQ(p1.certainty, Certainty::kCertified);
+  expect_point(p1.p_min, 1.0);
+  expect_point(p1.p_max, 1.0);
+}
+
+// --- Truncated-model refusal. ----------------------------------------------
+
+TEST(QuantTruncated, NeverClaimsCertainty) {
+  const auto algo = algos::make_algorithm("lr1");
+  QuantOptions opts;
+  opts.max_states = 500;
+  const QuantResult r = analyze(*algo, graph::fig1a(), opts);
+  EXPECT_EQ(r.certainty, Certainty::kTruncated);
+  EXPECT_FALSE(r.progress_certain());
+  // Sound but unknowing: probability bounds straddle, time upper bounds
+  // are infinite unless the lower bound already certifies infinity.
+  EXPECT_LE(r.p_min.lower, r.p_min.upper);
+  EXPECT_EQ(r.e_min.upper, kInfD);
+  EXPECT_EQ(r.e_max.upper, kInfD);
+}
+
+TEST(QuantTruncated, HandBuiltFrontierStraddles) {
+  // s0 steps into an unexplored frontier state: nothing can be certified.
+  const Model m = hand_model(1, {{{1.0f, 1}}, {}}, {0, 0}, {false, true}, true);
+  const QuantResult r = analyze(m);
+  EXPECT_EQ(r.certainty, Certainty::kTruncated);
+  EXPECT_EQ(r.p_min.lower, 0.0);
+  EXPECT_EQ(r.p_min.upper, 1.0);
+  EXPECT_EQ(r.p_max.lower, 0.0);
+  EXPECT_EQ(r.p_max.upper, 1.0);
+  EXPECT_FALSE(r.progress_certain());
+}
+
+// --- Bracket invariants. ---------------------------------------------------
+
+// Interval iteration must bracket from both sides: a coarser epsilon stops
+// earlier, so its probability interval contains every finer one (the lower
+// bound only rises, the upper only falls), and upper >= lower throughout.
+TEST(QuantBrackets, EpsilonNesting) {
+  const auto algo = algos::make_algorithm("lr1");
+  const Model m = par::explore(*algo, graph::parallel_arcs(3));
+  QuantResult prev;
+  bool have_prev = false;
+  for (const double eps : {1e-2, 1e-4, 1e-6}) {
+    QuantOptions opts;
+    opts.epsilon = eps;
+    const QuantResult r = analyze(m, ~std::uint64_t{0}, opts);
+    for (const Interval* iv : {&r.p_min, &r.p_max, &r.p_trap, &r.e_min, &r.e_max}) {
+      EXPECT_GE(iv->upper, iv->lower);
+    }
+    if (have_prev) {
+      EXPECT_GE(r.p_min.lower + 1e-12, prev.p_min.lower);
+      EXPECT_LE(r.p_min.upper - 1e-12, prev.p_min.upper);
+      EXPECT_GE(r.p_max.lower + 1e-12, prev.p_max.lower);
+      EXPECT_LE(r.p_max.upper - 1e-12, prev.p_max.upper);
+      EXPECT_GE(r.p_trap.lower + 1e-12, prev.p_trap.lower);
+      EXPECT_LE(r.p_trap.upper - 1e-12, prev.p_trap.upper);
+    }
+    prev = r;
+    have_prev = true;
+  }
+  EXPECT_LE(prev.p_min.width(), 1e-6);
+  EXPECT_LE(prev.p_max.width(), 1e-6);
+}
+
+// --- Thread-count determinism. ---------------------------------------------
+
+std::vector<int> quant_thread_counts() {
+  const int hw = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::vector<int> counts{1, 2};
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+void expect_identical_intervals(const QuantResult& a, const QuantResult& b) {
+  EXPECT_EQ(a.p_min, b.p_min);
+  EXPECT_EQ(a.p_max, b.p_max);
+  EXPECT_EQ(a.p_trap, b.p_trap);
+  EXPECT_EQ(a.e_min, b.e_min);
+  EXPECT_EQ(a.e_max, b.e_max);
+  EXPECT_EQ(a.certainty, b.certainty);
+  EXPECT_EQ(a.sweeps, b.sweeps);
+  EXPECT_EQ(a.num_quotient_nodes, b.num_quotient_nodes);
+}
+
+TEST(QuantDeterminism, BitIdenticalAcrossThreadCounts) {
+  struct Case {
+    const char* algo;
+    graph::Topology t;
+  };
+  const Case cases[] = {{"lr1", graph::classic_ring(3)},
+                        {"lr1", graph::parallel_arcs(3)},
+                        {"gdp1", graph::classic_ring(3)}};
+  for (const Case& c : cases) {
+    SCOPED_TRACE(std::string(c.algo) + " on " + c.t.name());
+    const auto algo = algos::make_algorithm(c.algo);
+    const Model m = par::explore(*algo, c.t);
+    QuantResult base;
+    bool have_base = false;
+    for (const int threads : quant_thread_counts()) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      QuantOptions opts;
+      opts.threads = threads;
+      opts.seq_sweep_threshold = 1;  // force the pool even on small models
+      opts.seq_mec_threshold = 1;
+      opts.seq_scc_region = 32;
+      const QuantResult r = analyze(m, ~std::uint64_t{0}, opts);
+      if (have_base) {
+        expect_identical_intervals(base, r);
+      } else {
+        base = r;
+        have_base = true;
+      }
+    }
+  }
+}
+
+// --- The acceptance matrix: every (algorithm x topology) instance the
+// parallel-engine suite pins, quantified. kProgressCertain instances must
+// certify Pmin = 1; kProgressFails instances must certify the gap
+// (Pmin < 1 or a positive trap probability); intervals are certified to
+// width <= 1e-6 and identical at threads {1, 2, hw}. ---
+
+void expect_quant_matches_verdict(const std::string& algo_name, const graph::Topology& t) {
+  SCOPED_TRACE(algo_name + " on " + t.name());
+  const auto algo = algos::make_algorithm(algo_name);
+  const Model m = par::explore(*algo, t);
+  ASSERT_FALSE(m.truncated());
+  const FairProgressResult verdict = par::check_fair_progress(m);
+
+  const int hw = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  QuantResult base;
+  bool have_base = false;
+  for (const int threads : {1, 2, hw}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    QuantOptions opts;
+    opts.threads = threads;
+    const QuantResult r = analyze(m, ~std::uint64_t{0}, opts);
+    ASSERT_EQ(r.certainty, Certainty::kCertified);
+    EXPECT_LE(r.p_min.width(), 1e-6);
+    EXPECT_LE(r.p_max.width(), 1e-6);
+    EXPECT_LE(r.p_trap.width(), 1e-6);
+    if (verdict.verdict == Verdict::kProgressCertain) {
+      EXPECT_TRUE(r.progress_certain());
+      EXPECT_GE(r.p_min.lower, 1.0 - 1e-6);
+      EXPECT_EQ(r.p_trap.upper, 0.0);
+      EXPECT_TRUE(r.e_max.finite()) << "certified progress must bound the worst case";
+      EXPECT_GE(r.e_max.lower + 1e-6, r.e_min.upper - 1e-6);
+    } else {
+      ASSERT_EQ(verdict.verdict, Verdict::kProgressFails);
+      EXPECT_TRUE(r.p_min.upper < 1.0 || r.p_trap.lower > 0.0)
+          << "a failing verdict must be quantitatively visible";
+      EXPECT_EQ(r.e_max.lower, kInfD);
+    }
+    if (have_base) {
+      expect_identical_intervals(base, r);
+    } else {
+      base = r;
+      have_base = true;
+    }
+  }
+}
+
+TEST(QuantMatrix, Lr1Ring3) { expect_quant_matches_verdict("lr1", graph::classic_ring(3)); }
+TEST(QuantMatrix, Lr1Ring4) { expect_quant_matches_verdict("lr1", graph::classic_ring(4)); }
+TEST(QuantMatrix, Lr1RingWithPendant) {
+  expect_quant_matches_verdict("lr1", graph::ring_with_pendant(3));
+}
+TEST(QuantMatrix, Lr1Fig1a) { expect_quant_matches_verdict("lr1", graph::fig1a()); }
+TEST(QuantMatrix, Lr2ParallelArcs3) { expect_quant_matches_verdict("lr2", graph::parallel_arcs(3)); }
+TEST(QuantMatrix, Gdp1Ring3) { expect_quant_matches_verdict("gdp1", graph::classic_ring(3)); }
+TEST(QuantMatrix, Gdp1ParallelArcs3) {
+  expect_quant_matches_verdict("gdp1", graph::parallel_arcs(3));
+}
+TEST(QuantMatrix, TicketFig1a) { expect_quant_matches_verdict("ticket", graph::fig1a()); }
+TEST(QuantMatrix, Gdp2Ring3) { expect_quant_matches_verdict("gdp2", graph::classic_ring(3)); }
+TEST(QuantMatrix, Lr2Ring4) { expect_quant_matches_verdict("lr2", graph::classic_ring(4)); }
+
+// --- Consistency with the uniform-chain analysis (the satellite bugnet):
+// the uniform scheduler is one fair adversary, so its reach probability
+// must lie inside [Pmin, Pmax], and the qualitative verdict must match the
+// quantitative certificate on every instance of the cross-check matrix. ---
+
+void expect_chain_inside_bounds(const std::string& algo_name, const graph::Topology& t,
+                                std::size_t max_states) {
+  SCOPED_TRACE(algo_name + " on " + t.name());
+  const auto algo = algos::make_algorithm(algo_name);
+  par::CheckOptions copts;
+  copts.max_states = max_states;
+  const Model m = par::explore(*algo, t, copts);
+
+  QuantOptions opts;
+  opts.max_states = max_states;
+  const QuantResult r = analyze(m, ~std::uint64_t{0}, opts);
+  if (m.truncated()) {
+    // The refusal side of the satellite: an incomplete model never claims.
+    EXPECT_EQ(r.certainty, Certainty::kTruncated);
+    EXPECT_FALSE(r.progress_certain());
+    return;
+  }
+  ASSERT_EQ(r.certainty, Certainty::kCertified);
+
+  const ChainAnalysis chain = analyze_uniform_chain(m);
+  EXPECT_GE(chain.p_reach, r.p_min.lower - 1e-5);
+  EXPECT_LE(chain.p_reach, r.p_max.upper + 1e-5);
+  if (chain.expected_converged) {
+    // Every counted uniform step is also counted by e_min.
+    EXPECT_GE(chain.expected_steps, r.e_min.lower - 1e-5);
+  }
+
+  const FairProgressResult verdict = par::check_fair_progress(m);
+  if (verdict.verdict == Verdict::kProgressCertain) {
+    EXPECT_TRUE(r.progress_certain());
+  } else {
+    EXPECT_TRUE(r.p_min.upper < 1.0 || r.p_trap.lower > 0.0);
+  }
+}
+
+TEST(QuantChainCrossCheck, RingChordParallelStar) {
+  const graph::Topology topologies[] = {graph::classic_ring(3), graph::ring_with_chord(4),
+                                        graph::parallel_arcs(3), graph::star(3)};
+  const char* algorithms[] = {"lr1", "lr2", "gdp1", "gdp2"};
+  for (const auto& t : topologies) {
+    for (const char* algo : algorithms) {
+      // Everything but lr1 explodes past 2M states on the chord topology; a
+      // tight cap keeps the matrix fast and those cells exercise the
+      // truncation-refusal path instead (lr1/chord stays the complete
+      // chord representative).
+      const bool heavy = t.num_phils() > 4 && std::string(algo) != "lr1";
+      expect_chain_inside_bounds(algo, t, heavy ? 300'000 : 2'000'000);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gdp::mdp::quant
