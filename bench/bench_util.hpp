@@ -38,8 +38,10 @@ inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
 /// Wall-clock stopwatch for phase timings (speedup reporting).
 class Stopwatch {
  public:
+  // gdp-lint: allow(wall-clock) — timing-only; feeds speedup reports, never results
   Stopwatch() : start_(std::chrono::steady_clock::now()) {}
   double seconds() const {
+    // gdp-lint: allow(wall-clock) — timing-only; feeds speedup reports, never results
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
   }
 

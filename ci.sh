@@ -1,10 +1,43 @@
 #!/usr/bin/env bash
-# CI entry point: release configure+build+ctest, then an ASan/UBSan pass.
-# Usage: ./ci.sh [--no-sanitize]
+# CI entry point.
+# Usage: ./ci.sh [--no-sanitize]   — full build+test matrix
+#        ./ci.sh lint              — static-analysis gate only:
+#                                    gdp_lint self-test + repo scan, and the
+#                                    Clang -Werror=thread-safety build when a
+#                                    clang++ is available (CI pins one; local
+#                                    GCC-only machines skip it with a notice).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+lint_pass() {
+  echo "=== lint: gdp_lint self-test (seeded fixtures) ==="
+  python3 tools/lint/gdp_lint.py --self-test tests/lint_fixtures
+  echo "=== lint: gdp_lint repo scan ==="
+  python3 tools/lint/gdp_lint.py src tests bench examples
+
+  local clangxx=""
+  for c in clang++ clang++-20 clang++-19 clang++-18 clang++-17 clang++-16; do
+    if command -v "$c" >/dev/null 2>&1; then clangxx="$c"; break; fi
+  done
+  if [[ -n "${clangxx}" ]]; then
+    echo "=== lint: ${clangxx} -Werror=thread-safety build ==="
+    cmake -B build/thread-safety -S . -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_CXX_COMPILER="${clangxx}" -DGDP_THREAD_SAFETY=ON
+    cmake --build build/thread-safety -j "${JOBS}"
+  else
+    echo "=== lint: no clang++ found — skipping the thread-safety build" \
+         "(the static-analysis CI job runs it with a pinned clang) ==="
+  fi
+  echo "=== lint green ==="
+}
+
+if [[ "${1:-}" == "lint" ]]; then
+  lint_pass
+  exit 0
+fi
+
 SANITIZE=1
 [[ "${1:-}" == "--no-sanitize" ]] && SANITIZE=0
 

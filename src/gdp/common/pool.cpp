@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <exception>
 #include <limits>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "gdp/common/check.hpp"
+#include "gdp/common/thread_annotations.hpp"
 
 namespace gdp::common {
 
@@ -27,7 +27,10 @@ void run_workers(unsigned threads, const std::function<void(unsigned)>& body) {
     return;
   }
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  // Function-local capability: serializes the first_error capture across
+  // workers; joined before the unlocked read below, so GDP_GUARDED_BY (a
+  // member/global attribute) cannot express the discipline.
+  Mutex error_mutex;  // gdp-lint: allow(unannotated-mutex) — guards the local first_error; see above
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (unsigned w = 0; w < threads; ++w) {
@@ -35,7 +38,7 @@ void run_workers(unsigned threads, const std::function<void(unsigned)>& body) {
       try {
         body(w);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     });

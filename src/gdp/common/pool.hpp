@@ -19,6 +19,13 @@
 // Nothing here imposes an ordering on task completion: callers that need
 // deterministic output park results at their task index and fold them in
 // index order afterwards (see gdp/exp/runner.cpp, gdp/mdp/par/explore.cpp).
+//
+// Concurrency discipline: everything in this header is a single atomic word
+// (StealRange's packed range, Backoff's failure counter is worker-local), so
+// there is no capability to annotate — the lock-protected structures built
+// on top of the pool use the annotated gdp::common::Mutex from
+// gdp/common/thread_annotations.hpp, which Clang's -Wthread-safety checks
+// under cmake -DGDP_THREAD_SAFETY=ON.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,107 @@
+// Compile-time race detection: wrappers over Clang's -Wthread-safety
+// attribute set (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html),
+// no-ops on every other compiler.
+//
+// The engine's headline guarantee — models, MECs and quantitative intervals
+// bit-identical at every thread count — rests on a small set of locking
+// disciplines (per-worker frontiers, sharded intern tables, region queues,
+// fork monitors). These macros make those disciplines *statically
+// checkable*: a `GDP_GUARDED_BY(mu)` member read without `mu` held fails
+// the build under `cmake -DGDP_THREAD_SAFETY=ON` (Clang only, which adds
+// -Werror=thread-safety) instead of flaking as a TSan report in CI.
+//
+// Because libstdc++'s std::mutex carries no capability attributes, the
+// analysis cannot see through std::lock_guard<std::mutex>. Lock-protected
+// structures therefore use the annotated gdp::common::Mutex / MutexLock
+// wrappers below — zero-overhead shims over std::mutex whose lock/unlock
+// are visible to the analysis. The repo-specific linter
+// (tools/lint/gdp_lint.py, rule `unannotated-mutex`) enforces that every
+// mutex declared under src/ either guards something via these attributes
+// or carries a justified suppression.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GDP_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define GDP_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "fork", ...).
+#define GDP_CAPABILITY(x) GDP_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define GDP_SCOPED_CAPABILITY GDP_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define GDP_GUARDED_BY(x) GDP_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define GDP_PT_GUARDED_BY(x) GDP_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function requires the capability (exclusively / shared) on entry.
+#define GDP_REQUIRES(...) \
+  GDP_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define GDP_REQUIRES_SHARED(...) \
+  GDP_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability.
+#define GDP_ACQUIRE(...) \
+  GDP_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define GDP_ACQUIRE_SHARED(...) \
+  GDP_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#define GDP_RELEASE(...) \
+  GDP_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define GDP_RELEASE_SHARED(...) \
+  GDP_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define GDP_TRY_ACQUIRE(...) \
+  GDP_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called with the capability NOT held (deadlock guard).
+#define GDP_EXCLUDES(...) GDP_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define GDP_RETURN_CAPABILITY(x) GDP_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the discipline cannot be expressed
+/// statically (gdp_lint's zero-silent-exemptions policy).
+#define GDP_NO_THREAD_SAFETY_ANALYSIS \
+  GDP_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace gdp::common {
+
+/// std::mutex with the capability attributes the analysis needs. Same
+/// layout and cost; only the annotations differ.
+class GDP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GDP_ACQUIRE() { mu_.lock(); }
+  void unlock() GDP_RELEASE() { mu_.unlock(); }
+  bool try_lock() GDP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;  // gdp-lint: allow(unannotated-mutex) — the capability wrapper itself
+};
+
+/// Scoped lock over Mutex, visible to the analysis (std::lock_guard is
+/// not: libstdc++ ships it without scoped_lockable annotations).
+class GDP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GDP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() GDP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace gdp::common

@@ -73,7 +73,9 @@ CampaignResult Runner::run(const CampaignSpec& spec) const {
   }
 
   // The shared work-stealing pool (gdp/common/pool.hpp) executes the flat
-  // cells x trials task range; every outcome parks at its global index.
+  // cells x trials task range; every outcome parks at its global index —
+  // the lock-free half of the runner's concurrency contract (see
+  // runner.hpp): distinct ids, distinct slots, no capability needed.
   std::vector<TrialOutcome> outcomes(total);
   common::parallel_for(total, options_.threads, [&](std::uint32_t id) {
     const std::size_t c = id / trials;

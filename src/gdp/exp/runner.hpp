@@ -12,6 +12,14 @@
 // (seeding.hpp) and every outcome is parked at its global task index, then
 // folded in index order on one thread — so the CampaignResult is
 // bit-identical for any thread count, including 1.
+//
+// Concurrency discipline (checked by gdp_lint + GDP_THREAD_SAFETY): the
+// Runner holds NO capabilities on purpose. Workers share only immutable
+// state (spec, plans) and the outcomes vector, where task id = write index
+// makes every write disjoint; the fold happens after the pool joins. Any
+// future mutable shared state added here must be GDP_GUARDED_BY an
+// annotated gdp::common::Mutex (gdp/common/thread_annotations.hpp) — not a
+// bare std::mutex, which the static race analysis cannot see through.
 #pragma once
 
 #include "gdp/exp/aggregate.hpp"

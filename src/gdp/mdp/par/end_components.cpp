@@ -18,7 +18,6 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
@@ -26,6 +25,7 @@
 
 #include "gdp/common/check.hpp"
 #include "gdp/common/pool.hpp"
+#include "gdp/common/thread_annotations.hpp"
 #include "gdp/mdp/par/par.hpp"
 
 namespace gdp::mdp::par {
@@ -122,14 +122,14 @@ using RegionBatch = std::vector<Region>;
 
 class RegionQueue {
  public:
-  void push(RegionBatch&& batch) {
+  void push(RegionBatch&& batch) GDP_EXCLUDES(mu_) {
     outstanding_.fetch_add(1, std::memory_order_acq_rel);
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     batches_.push_back(std::move(batch));
   }
 
-  std::optional<RegionBatch> pop() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<RegionBatch> pop() GDP_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     if (batches_.empty()) return std::nullopt;
     RegionBatch batch = std::move(batches_.back());
     batches_.pop_back();
@@ -142,8 +142,11 @@ class RegionQueue {
   bool idle() const { return outstanding_.load(std::memory_order_acquire) == 0; }
 
  private:
-  std::mutex mu_;
-  std::vector<RegionBatch> batches_;
+  common::Mutex mu_;
+  std::vector<RegionBatch> batches_ GDP_GUARDED_BY(mu_);
+  /// Regions pushed but not yet fully processed; incremented BEFORE the
+  /// push is visible so idle() can never report a transient empty queue as
+  /// terminated while a producer is mid-push.
   std::atomic<std::size_t> outstanding_{0};
 };
 
@@ -190,6 +193,10 @@ class ParallelScc {
     bool any = false;
     RegionBatch batch;
     std::size_t batch_states = 0;
+    // Iteration order only picks region tokens and queue order — pure work
+    // scheduling. SCC labels are canonical min-state ids and the final
+    // collection scans states ascending, so no result bit depends on it.
+    // gdp-lint: allow(unordered-iteration) — feeds the work queue, not any output
     for (auto& [label, states] : blocks) {
       if (states.size() == 1) {
         (*out_)[states.front()] = states.front();
@@ -218,14 +225,14 @@ class ParallelScc {
     common::run_workers(workers, [&](unsigned) {
       common::Backoff backoff;
       while (true) {
-        std::optional<RegionBatch> batch = queue_.pop();
-        if (!batch) {
+        std::optional<RegionBatch> claimed = queue_.pop();
+        if (!claimed) {
           if (queue_.idle()) break;
           backoff.pause();
           continue;
         }
         backoff.reset();
-        for (Region& r : *batch) process(std::move(r));
+        for (Region& r : *claimed) process(std::move(r));
         queue_.done();
       }
     });

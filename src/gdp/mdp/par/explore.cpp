@@ -22,7 +22,6 @@
 // explorer runs instead. Complete models — the only ones that certify the
 // paper's theorems — never take that path.
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
@@ -30,6 +29,7 @@
 
 #include "gdp/common/check.hpp"
 #include "gdp/common/pool.hpp"
+#include "gdp/common/thread_annotations.hpp"
 #include "gdp/mdp/key.hpp"
 #include "gdp/mdp/par/par.hpp"
 #include "gdp/sim/state.hpp"
@@ -70,18 +70,20 @@ struct Item {
 /// (breadth-first-ish order keeps the discovery frontier compact); thieves
 /// take the back half in one grab.
 struct Frontier {
-  std::mutex mu;
-  std::deque<Item> items;
+  common::Mutex mu;
+  std::deque<Item> items GDP_GUARDED_BY(mu);
+  /// Lock-free size estimate for victim selection only (never used for
+  /// correctness decisions), refreshed on every mutation under `mu`.
   std::atomic<std::size_t> approx{0};
 
-  void push(Item&& item) {
-    std::lock_guard<std::mutex> lock(mu);
+  void push(Item&& item) GDP_EXCLUDES(mu) {
+    common::MutexLock lock(mu);
     items.push_back(std::move(item));
     approx.store(items.size(), std::memory_order_relaxed);
   }
 
-  std::optional<Item> pop() {
-    std::lock_guard<std::mutex> lock(mu);
+  std::optional<Item> pop() GDP_EXCLUDES(mu) {
+    common::MutexLock lock(mu);
     if (items.empty()) return std::nullopt;
     Item item = std::move(items.front());
     items.pop_front();
@@ -92,10 +94,10 @@ struct Frontier {
   /// Moves the back half of this frontier into `thief`. Never holds both
   /// locks at once (steals buffer through a local vector), so concurrent
   /// mutual steals cannot deadlock.
-  bool steal_into(Frontier& thief) {
+  bool steal_into(Frontier& thief) GDP_EXCLUDES(mu, thief.mu) {
     std::vector<Item> grabbed;
     {
-      std::lock_guard<std::mutex> lock(mu);
+      common::MutexLock lock(mu);
       if (items.empty()) return false;
       const std::size_t k = (items.size() + 1) / 2;
       grabbed.reserve(k);
@@ -106,7 +108,7 @@ struct Frontier {
       approx.store(items.size(), std::memory_order_relaxed);
     }
     {
-      std::lock_guard<std::mutex> lock(thief.mu);
+      common::MutexLock lock(thief.mu);
       for (auto it = grabbed.rbegin(); it != grabbed.rend(); ++it) {
         thief.items.push_back(std::move(*it));
       }
@@ -128,7 +130,7 @@ class InternShards {
   std::pair<std::uint32_t, bool> intern(const PackedKey& key) {
     const std::size_t h = PackedKeyHash{}(key);
     Shard& shard = shards_[h & (kShards - 1)];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(shard.mu);
     const auto [it, inserted] = shard.map.try_emplace(key, 0);
     if (inserted) it->second = next_id_.fetch_add(1, std::memory_order_relaxed);
     return {it->second, inserted};
@@ -137,36 +139,43 @@ class InternShards {
   std::uint32_t count() const { return next_id_.load(std::memory_order_relaxed); }
 
   /// Merges all shards into `out` (whose codec the caller set), translating
-  /// provisional ids through `canon`. Sequential; called after the pool
-  /// joined — the hash-map inserts serialize anyway, and the per-entry
-  /// translation is one array read.
+  /// provisional ids through `canon`. Called after the pool joined; the
+  /// per-shard locks are uncontended by then and taken only to satisfy the
+  /// static discipline (64 lock round-trips total).
   void merge_into(StateIndex& out, const std::vector<StateId>& canon) const {
     out.reserve(count());
     for (const Shard& shard : shards_) {
+      common::MutexLock lock(shard.mu);
+      // Insertion into `out` rebuilds a hash map: its contents are a set,
+      // so the shard's iteration order cannot leak into any result.
+      // gdp-lint: allow(unordered-iteration) — rebuilds an unordered index; order-free
       for (const auto& [key, prov] : shard.map) out.try_emplace(key, canon[prov]);
     }
   }
 
   /// Provisional id of `key`, or -1 if the parallel phase never saw it.
-  /// Post-join use only (no locking).
   std::int64_t find(const PackedKey& key) const {
     const Shard& shard = shards_[PackedKeyHash{}(key) & (kShards - 1)];
+    common::MutexLock lock(shard.mu);
     const auto it = shard.map.find(key);
     return it == shard.map.end() ? -1 : static_cast<std::int64_t>(it->second);
   }
 
-  /// Visits every (key, provisional id) pair. Post-join use only.
+  /// Visits every (key, provisional id) pair, in no particular order —
+  /// callers park results at the provisional id, never fold in visit order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (const Shard& shard : shards_) {
+      common::MutexLock lock(shard.mu);
+      // gdp-lint: allow(unordered-iteration) — consumers index by prov id; order-free
       for (const auto& [key, prov] : shard.map) fn(key, prov);
     }
   }
 
  private:
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<PackedKey, std::uint32_t, PackedKeyHash> map;
+    mutable common::Mutex mu;
+    std::unordered_map<PackedKey, std::uint32_t, PackedKeyHash> map GDP_GUARDED_BY(mu);
   };
   Shard shards_[kShards];
   std::atomic<std::uint32_t> next_id_{0};

@@ -580,42 +580,51 @@ std::string format_interval(const Interval& iv, double epsilon) {
   return out.str();
 }
 
-}  // namespace
+/// Target-independent state shared across the targets of one multi-target
+/// analyze() call: the reachable-state BFS up front, and the full-model
+/// pieces p_trap needs (MECs with avoid_set = 0 and the target_terminal =
+/// false quotient — build_quotient ignores the target mask there) built
+/// lazily on first demand, since targets with no fair avoiding MEC on a
+/// complete model never touch them.
+struct SharedSweeps {
+  std::vector<bool> reached;
+  bool complete = false;
 
-bool Interval::finite() const { return std::isfinite(lower) && std::isfinite(upper); }
+  bool full_built = false;
+  std::vector<EndComponent> full_mecs;
+  Quotient full_q;
 
-const char* to_string(Certainty certainty) {
-  switch (certainty) {
-    case Certainty::kCertified: return "certified";
-    case Certainty::kTruncated: return "unknown (state space truncated)";
-    case Certainty::kIterationLimit: return "unconverged (iteration limit)";
+  void ensure_full(const Model& model, const par::CheckOptions& co,
+                   const QuantOptions& options) {
+    if (full_built) return;
+    full_mecs = par::maximal_end_components(model, 0, co);
+    full_q = build_quotient(model, full_mecs, reached, /*target_mask=*/0,
+                            /*target_terminal=*/false, options);
+    full_built = true;
   }
-  return "?";
+};
+
+SharedSweeps make_shared_sweeps(const Model& model, const par::CheckOptions& co) {
+  SharedSweeps shared;
+  shared.complete = !model.truncated();
+  shared.reached = par::reachable_states(model, co);
+  return shared;
 }
 
-std::string QuantResult::summary() const {
-  std::ostringstream out;
-  out << to_string(certainty) << " (eps=" << epsilon << "): Pmin=" << format_interval(p_min, epsilon)
-      << " Pmax=" << format_interval(p_max, epsilon) << " Ptrap=" << format_interval(p_trap, epsilon)
-      << " E[min steps]=" << format_interval(e_min, epsilon)
-      << " E[max productive steps]=" << format_interval(e_max, epsilon) << " — " << num_states
-      << " states, " << num_quotient_nodes << " quotient nodes, " << num_avoid_mecs
-      << " avoiding MECs (" << num_fair_avoid_mecs << " fair)";
-  return out.str();
-}
-
-QuantResult analyze(const Model& model, std::uint64_t target_set, QuantOptions options) {
-  GDP_CHECK_MSG(options.epsilon > 0.0, "quant::analyze needs epsilon > 0");
-  GDP_CHECK_MSG(target_set != 0, "quant::analyze needs a non-empty target set");
-
+/// The per-target core: everything in analyze() that depends on the target
+/// mask. Reads the target-independent sweeps from `shared` (building the
+/// full-model pieces lazily), so n targets cost one reachability BFS and at
+/// most one full MEC decomposition between them.
+QuantResult analyze_one(const Model& model, std::uint64_t target_set,
+                        const QuantOptions& options, SharedSweeps& shared) {
   QuantResult result;
   result.target_set = target_set;
   result.num_states = model.num_states();
   result.epsilon = options.epsilon;
 
-  const bool complete = !model.truncated();
+  const bool complete = shared.complete;
   const auto co = options.check_options();
-  const std::vector<bool> reached = par::reachable_states(model, co);
+  const std::vector<bool>& reached = shared.reached;
 
   // MECs of the meal-free fragment, and which of them are fair traps.
   const std::vector<EndComponent> mecs = par::maximal_end_components(model, target_set, co);
@@ -728,9 +737,8 @@ QuantResult analyze(const Model& model, std::uint64_t target_set, QuantOptions o
   if (result.num_fair_avoid_mecs == 0 && complete) {
     result.p_trap = {0.0, 0.0};
   } else {
-    const std::vector<EndComponent> full_mecs = par::maximal_end_components(model, 0, co);
-    const Quotient full_q =
-        build_quotient(model, full_mecs, reached, target_set, /*target_terminal=*/false, options);
+    shared.ensure_full(model, co, options);
+    const Quotient& full_q = shared.full_q;
     // Goal nodes: full-model MEC classes holding a fair-trap state (from
     // anywhere in such a MEC the trap is internally reachable with
     // probability 1, so the whole class counts as reached).
@@ -756,6 +764,55 @@ QuantResult analyze(const Model& model, std::uint64_t target_set, QuantOptions o
                      : all_converged     ? Certainty::kCertified
                                          : Certainty::kIterationLimit;
   return result;
+}
+
+}  // namespace
+
+bool Interval::finite() const { return std::isfinite(lower) && std::isfinite(upper); }
+
+const char* to_string(Certainty certainty) {
+  switch (certainty) {
+    case Certainty::kCertified: return "certified";
+    case Certainty::kTruncated: return "unknown (state space truncated)";
+    case Certainty::kIterationLimit: return "unconverged (iteration limit)";
+  }
+  return "?";
+}
+
+std::string QuantResult::summary() const {
+  std::ostringstream out;
+  out << to_string(certainty) << " (eps=" << epsilon << "): Pmin=" << format_interval(p_min, epsilon)
+      << " Pmax=" << format_interval(p_max, epsilon) << " Ptrap=" << format_interval(p_trap, epsilon)
+      << " E[min steps]=" << format_interval(e_min, epsilon)
+      << " E[max productive steps]=" << format_interval(e_max, epsilon) << " — " << num_states
+      << " states, " << num_quotient_nodes << " quotient nodes, " << num_avoid_mecs
+      << " avoiding MECs (" << num_fair_avoid_mecs << " fair)";
+  return out.str();
+}
+
+QuantResult analyze(const Model& model, std::uint64_t target_set, QuantOptions options) {
+  GDP_CHECK_MSG(options.epsilon > 0.0, "quant::analyze needs epsilon > 0");
+  GDP_CHECK_MSG(target_set != 0, "quant::analyze needs a non-empty target set");
+  SharedSweeps shared = make_shared_sweeps(model, options.check_options());
+  return analyze_one(model, target_set, options, shared);
+}
+
+std::vector<QuantResult> analyze(const Model& model, const std::vector<std::uint64_t>& targets,
+                                 QuantOptions options) {
+  GDP_CHECK_MSG(options.epsilon > 0.0, "quant::analyze needs epsilon > 0");
+  for (const std::uint64_t target_set : targets) {
+    GDP_CHECK_MSG(target_set != 0, "quant::analyze needs non-empty target sets");
+  }
+  SharedSweeps shared = make_shared_sweeps(model, options.check_options());
+  std::vector<QuantResult> results;
+  results.reserve(targets.size());
+  // Targets run in sequence (each one's sweeps already parallelize over the
+  // pool); only the SharedSweeps state crosses between them, so every entry
+  // matches the single-target call bit for bit.
+  for (const std::uint64_t target_set : targets) {
+    results.push_back(analyze_one(model, target_set, options, shared));
+  }
+  return results;
 }
 
 QuantResult analyze(const algos::Algorithm& algo, const graph::Topology& t, QuantOptions options,

@@ -67,6 +67,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "gdp/mdp/model.hpp"
 #include "gdp/mdp/par/par.hpp"
@@ -177,6 +178,18 @@ struct QuantResult {
 /// lockout-freedom quantities of philosopher i.
 QuantResult analyze(const Model& model, std::uint64_t target_set = ~std::uint64_t{0},
                     QuantOptions options = {});
+
+/// Multi-target analysis: one QuantResult per entry of `targets`, each
+/// bit-identical to analyze(model, targets[i], options) — but the
+/// target-independent sweeps are computed ONCE and shared: the reachable-
+/// state BFS, the full-model MEC decomposition and the full-model quotient
+/// that p_trap needs (the fragment MECs and quotients depend on the target
+/// and stay per-target). Checking lockout freedom for all n philosophers
+/// (targets = the n singleton masks) this way saves n-1 reachability
+/// sweeps and up to n-1 full MEC decompositions over calling analyze in a
+/// loop. Requires every mask to be non-empty.
+std::vector<QuantResult> analyze(const Model& model, const std::vector<std::uint64_t>& targets,
+                                 QuantOptions options = {});
 
 /// One-call convenience: parallel explore (gdp::mdp::par) + analyze.
 QuantResult analyze(const algos::Algorithm& algo, const graph::Topology& t,

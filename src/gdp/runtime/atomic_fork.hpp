@@ -12,10 +12,19 @@
 
 #include "gdp/common/check.hpp"
 #include "gdp/common/ids.hpp"
+#include "gdp/common/thread_annotations.hpp"
 
 namespace gdp::runtime {
 
-class AtomicFork {
+/// Declared a capability so data reachable only through fork ownership can
+/// say so (`GDP_GUARDED_BY(lock)` on pi::Channel's offer list). take/release
+/// are deliberately NOT acquire/release-annotated: the dining algorithms
+/// take forks conditionally across loop iterations and hand them between
+/// phases — flow the static analysis cannot follow — so the holder
+/// discipline stays enforced dynamically by the GDP_DCHECKs below, and
+/// functions touching fork-guarded data document themselves with
+/// GDP_NO_THREAD_SAFETY_ANALYSIS plus a justification.
+class GDP_CAPABILITY("fork") AtomicFork {
  public:
   AtomicFork() = default;
   AtomicFork(const AtomicFork&) = delete;

@@ -88,6 +88,8 @@ class Worker {
   void run() {
     while (!s_.stop.load(std::memory_order_relaxed)) {
       busy_work(s_.think_work);  // think
+      // gdp-lint: allow(wall-clock) — hunger-latency sample for live stress runs;
+      // never part of a golden-file or seeded-reproducibility contract
       const auto hungry_at = std::chrono::steady_clock::now();
 
       if (s_.kind == Kind::kTicket && !acquire_ticket()) break;
@@ -239,7 +241,7 @@ class Worker {
   void record_hunger(std::chrono::steady_clock::time_point hungry_at) {
     if (out_.hunger_ns.size() >= kMaxLatencySamples) return;
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - hungry_at)
+                        std::chrono::steady_clock::now() - hungry_at)  // gdp-lint: allow(wall-clock) — latency sample, timing-only
                         .count();
     out_.hunger_ns.push_back(static_cast<std::uint64_t>(ns));
   }
@@ -303,8 +305,13 @@ RuntimeResult run_threads(const graph::Topology& t, const RuntimeConfig& config)
   std::vector<WorkerOutput> outputs(static_cast<std::size_t>(t.num_phils()));
   rng::Rng seeder(config.seed);
 
+  // gdp-lint: allow(wall-clock) — duration cutoff for the OS-thread stress
+  // harness; meal counts are per-run observations, never golden-file inputs
   const auto start = std::chrono::steady_clock::now();
   {
+    // gdp-lint: allow(raw-thread) — the point of this harness is one OS thread
+    // per philosopher contending on real atomics; the deterministic pool's
+    // park-at-index idiom does not apply to a live mutual-exclusion run
     std::vector<std::jthread> threads;
     threads.reserve(static_cast<std::size_t>(t.num_phils()));
     for (PhilId p = 0; p < t.num_phils(); ++p) {
@@ -317,14 +324,14 @@ RuntimeResult run_threads(const graph::Topology& t, const RuntimeConfig& config)
     if (config.duration.count() > 0) {
       const auto deadline = start + config.duration;
       while (!shared.stop.load(std::memory_order_relaxed) &&
-             std::chrono::steady_clock::now() < deadline) {
+             std::chrono::steady_clock::now() < deadline) {  // gdp-lint: allow(wall-clock) — deadline poll, timing-only
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
       shared.stop.store(true, std::memory_order_relaxed);
     }
     // jthreads join here; meal-target runs stop themselves.
   }
-  const auto end = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();  // gdp-lint: allow(wall-clock) — elapsed-seconds report only
 
   RuntimeResult result;
   result.meals_of.reserve(outputs.size());

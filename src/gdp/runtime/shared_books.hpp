@@ -4,13 +4,17 @@
 // take, so the courtesy test reads a consistent snapshot (the paper assumes
 // fork operations are atomic; footnote 3 stores the distinction between
 // sharers inside the fork, exactly as the slot indexing does here).
+//
+// The lock discipline is statically checked: every book field is
+// GDP_GUARDED_BY(mu_), so a future accessor that forgets the monitor lock
+// fails the clang -Werror=thread-safety build instead of racing at runtime.
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "gdp/common/ids.hpp"
+#include "gdp/common/thread_annotations.hpp"
 
 namespace gdp::runtime {
 
@@ -21,26 +25,26 @@ class ForkBooks {
   ForkBooks(const ForkBooks&) = delete;
   ForkBooks& operator=(const ForkBooks&) = delete;
 
-  void insert_request(int slot) {
-    std::scoped_lock lock(mu_);
+  void insert_request(int slot) GDP_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     requests_ |= (std::uint64_t{1} << slot);
   }
 
-  void remove_request(int slot) {
-    std::scoped_lock lock(mu_);
+  void remove_request(int slot) GDP_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     requests_ &= ~(std::uint64_t{1} << slot);
   }
 
   /// Signs the guest book: `slot` becomes the most recent user.
-  void mark_used(int slot) {
-    std::scoped_lock lock(mu_);
+  void mark_used(int slot) GDP_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     last_use_[static_cast<std::size_t>(slot)] = ++clock_;
   }
 
   /// Cond(fork) for `slot`: every *other* requester has used the fork no
   /// earlier than `slot` did (never-used counts as earliest).
-  bool cond_holds(int slot) const {
-    std::scoped_lock lock(mu_);
+  bool cond_holds(int slot) const GDP_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     const std::uint64_t mine = last_use_[static_cast<std::size_t>(slot)];
     for (std::size_t s = 0; s < last_use_.size(); ++s) {
       if (static_cast<int>(s) == slot) continue;
@@ -51,10 +55,10 @@ class ForkBooks {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::uint64_t requests_ = 0;
-  std::vector<std::uint64_t> last_use_;
-  std::uint64_t clock_ = 0;
+  mutable common::Mutex mu_;
+  std::uint64_t requests_ GDP_GUARDED_BY(mu_) = 0;
+  std::vector<std::uint64_t> last_use_ GDP_GUARDED_BY(mu_);
+  std::uint64_t clock_ GDP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gdp::runtime

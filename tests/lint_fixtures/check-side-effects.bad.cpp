@@ -1,0 +1,18 @@
+// Seeded violation: a side effect inside GDP_DCHECK — the argument is
+// unevaluated under NDEBUG, so debug and release runs diverge.
+#include <cstdint>
+
+#define GDP_DCHECK(cond) ((void)0)
+
+namespace fixture {
+
+std::uint64_t drain(std::uint64_t* cursor, std::uint64_t end) {
+  std::uint64_t sum = 0;
+  while (*cursor < end) {
+    GDP_DCHECK(++*cursor <= end);
+    sum += *cursor;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Clean counterpart: the mutation happens in real code; the check only
+// reads — identical behaviour with assertions compiled out. Comparison
+// operators (==, <=) are reads, not assignments.
+#include <cstdint>
+
+#define GDP_DCHECK(cond) ((void)0)
+
+namespace fixture {
+
+std::uint64_t drain(std::uint64_t* cursor, std::uint64_t end) {
+  std::uint64_t sum = 0;
+  while (*cursor < end) {
+    ++*cursor;
+    GDP_DCHECK(*cursor <= end);
+    GDP_DCHECK(sum == sum);
+    sum += *cursor;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Seeded violation: shared floating-point accumulator mutated inside a
+// parallel region — FP addition is not associative, so the result depends
+// on interleaving and thread count.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+void parallel_for(std::size_t n, int threads, void (*body)(std::uint32_t));
+
+double mean(const std::vector<double>& xs, int threads) {
+  double total = 0.0;
+  parallel_for(xs.size(), threads, [&](std::uint32_t i) {
+    total += xs[i];
+  });
+  return total / static_cast<double>(xs.size());
+}
+
+}  // namespace fixture

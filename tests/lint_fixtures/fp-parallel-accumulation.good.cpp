@@ -1,0 +1,20 @@
+// Clean counterpart: each worker writes a disjoint indexed slot; the fold
+// happens after the pool joins, on one thread, in index order.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+void parallel_for(std::size_t n, int threads, void (*body)(std::uint32_t));
+
+double mean(const std::vector<double>& xs, int threads) {
+  std::vector<double> parked(xs.size(), 0.0);
+  parallel_for(xs.size(), threads, [&](std::uint32_t i) {
+    parked[i] = xs[i];
+  });
+  double total = 0.0;
+  for (std::size_t i = 0; i < parked.size(); ++i) total += parked[i];
+  return total / static_cast<double>(xs.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Seeded violation: ad-hoc std::jthread fan-out outside gdp/common/pool.* —
+// bypasses the pool's exception funnel and park-at-index determinism.
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+void fan_out(std::uint32_t n, std::vector<std::uint64_t>& out) {
+  std::vector<std::jthread> threads;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    threads.emplace_back([i, &out] { out[i] = i; });
+  }
+}
+
+}  // namespace fixture

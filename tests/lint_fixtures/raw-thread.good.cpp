@@ -1,0 +1,18 @@
+// Clean counterpart: work goes through the shared pool's parallel_for, and
+// hardware_concurrency (a query, not a thread) stays allowed.
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+void parallel_for(std::size_t n, int threads, void (*body)(std::uint32_t));
+
+void fan_out(std::uint32_t n, std::vector<std::uint64_t>* out) {
+  static std::vector<std::uint64_t>* sink = nullptr;
+  sink = out;
+  const int workers = static_cast<int>(std::thread::hardware_concurrency());
+  parallel_for(n, workers, [](std::uint32_t i) { (*sink)[i] = i; });
+}
+
+}  // namespace fixture

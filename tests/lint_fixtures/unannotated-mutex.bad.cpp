@@ -1,0 +1,21 @@
+// Seeded violation: a mutex member with no GDP_GUARDED_BY client anywhere
+// in the file — the static race analysis cannot tell what it protects.
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+class Ledger {
+ public:
+  void record(std::uint64_t v) {
+    std::lock_guard<std::mutex> hold(mu_);
+    entries_.push_back(v);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::uint64_t> entries_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Clean counterpart: the annotated gdp::common::Mutex with GDP_GUARDED_BY
+// naming what it protects — visible to Clang's -Wthread-safety.
+#include <cstdint>
+#include <vector>
+
+#define GDP_GUARDED_BY(x)
+#define GDP_EXCLUDES(...)
+
+namespace common {
+class Mutex {
+ public:
+  void lock() {}
+  void unlock() {}
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+}  // namespace common
+
+namespace fixture {
+
+class Ledger {
+ public:
+  void record(std::uint64_t v) GDP_EXCLUDES(mu_) {
+    common::MutexLock hold(mu_);
+    entries_.push_back(v);
+  }
+
+ private:
+  common::Mutex mu_;
+  std::vector<std::uint64_t> entries_ GDP_GUARDED_BY(mu_);
+};
+
+}  // namespace fixture

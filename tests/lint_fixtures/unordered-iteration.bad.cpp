@@ -1,0 +1,20 @@
+// Seeded violation: range-for over an unordered container feeding output —
+// hash order leaks straight into what the caller sees.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::vector<std::string> render_counts(
+    const std::unordered_map<std::string, std::uint64_t>& counts) {
+  std::unordered_map<std::string, std::uint64_t> local = counts;
+  std::vector<std::string> lines;
+  for (const auto& [name, n] : local) {
+    lines.push_back(name + "=" + std::to_string(n));
+  }
+  return lines;
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Clean counterpart: extract keys, sort, then iterate the sorted vector —
+// the canonical-order idiom the rule pushes toward. Also shows the
+// order-free suppression form.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::vector<std::string> render_counts(
+    const std::unordered_map<std::string, std::uint64_t>& counts) {
+  std::unordered_map<std::string, std::uint64_t> local = counts;
+  std::vector<std::string> names;
+  // gdp-lint: allow(unordered-iteration) — key harvest only; sorted below
+  for (const auto& [name, n] : local) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  std::vector<std::string> lines;
+  for (const std::string& name : names) {
+    lines.push_back(name + "=" + std::to_string(local.at(name)));
+  }
+  return lines;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Seeded violation: wall-clock time feeding a result the campaign layer
+// treats as reproducible. Exercised by gdp_lint.py --self-test.
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t trial_seed_from_clock() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace fixture

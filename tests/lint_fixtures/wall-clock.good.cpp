@@ -1,0 +1,20 @@
+// Clean counterpart: seed-derived randomness plus a justified timing-only
+// suppression — both forms the rule accepts.
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t trial_seed(std::uint64_t campaign_seed, std::uint64_t trial) {
+  std::uint64_t z = campaign_seed + 0x9e3779b97f4a7c15ull * (trial + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  return z ^ (z >> 31);
+}
+
+double phase_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();  // gdp-lint: allow(wall-clock) — timing-only, never feeds results
+  const auto t1 = std::chrono::steady_clock::now();  // gdp-lint: allow(wall-clock) — timing-only, never feeds results
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace fixture

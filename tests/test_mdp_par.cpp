@@ -94,6 +94,8 @@ void expect_par_equals_seq(const std::string& algo_name, const graph::Topology& 
     expect_models_bit_identical(seq, par_model, threads);
 
     ASSERT_EQ(seq_index.size(), par_index.size());
+    // gdp-lint: allow(unordered-iteration) — pure membership check; every key is
+    // looked up independently, no result bit depends on hash order
     for (const auto& [key, id] : seq_index) {
       const auto it = par_index.find(key);
       ASSERT_NE(it, par_index.end());
@@ -210,6 +212,7 @@ TEST(ParExplore, EpilogueTruncationPinsAcrossThreadCounts) {
       const Model par_model = par::explore_indexed(*algo, c.t, par_index, opts);
       expect_models_bit_identical(seq, par_model, threads);
       ASSERT_EQ(seq_index.size(), par_index.size());
+      // gdp-lint: allow(unordered-iteration) — membership check only; order-free
       for (const auto& [key, id] : seq_index) {
         const auto it = par_index.find(key);
         ASSERT_NE(it, par_index.end());

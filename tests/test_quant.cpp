@@ -268,6 +268,53 @@ TEST(QuantDeterminism, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+// The multi-target entry point shares the reachability sweep and the
+// full-model MEC/quotient pieces across targets; every per-target result
+// must still match the single-target call bit for bit — including the
+// sweep counters, which would drift if any shared piece leaked
+// target-dependent state.
+TEST(QuantMultiTarget, BitIdenticalToSingleTargetCalls) {
+  struct Case {
+    const char* algo;
+    graph::Topology t;
+  };
+  const Case cases[] = {{"lr1", graph::classic_ring(3)},
+                        {"lr1", graph::parallel_arcs(3)},
+                        {"gdp1", graph::classic_ring(3)}};
+  for (const Case& c : cases) {
+    SCOPED_TRACE(std::string(c.algo) + " on " + c.t.name());
+    const auto algo = algos::make_algorithm(c.algo);
+    const Model m = par::explore(*algo, c.t);
+
+    // All singleton masks (per-philosopher lockout freedom) plus the union
+    // target and a repeat — repeats must not perturb the shared state.
+    std::vector<std::uint64_t> targets;
+    for (int p = 0; p < c.t.num_phils(); ++p) targets.push_back(std::uint64_t{1} << p);
+    targets.push_back(~std::uint64_t{0});
+    targets.push_back(std::uint64_t{1});
+
+    for (const int threads : quant_thread_counts()) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      QuantOptions opts;
+      opts.threads = threads;
+      opts.seq_sweep_threshold = 1;  // force the pool even on small models
+      opts.seq_mec_threshold = 1;
+      opts.seq_scc_region = 32;
+      const std::vector<QuantResult> multi = analyze(m, targets, opts);
+      ASSERT_EQ(multi.size(), targets.size());
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        SCOPED_TRACE("target mask " + std::to_string(targets[i]));
+        const QuantResult single = analyze(m, targets[i], opts);
+        EXPECT_EQ(multi[i].target_set, targets[i]);
+        expect_identical_intervals(single, multi[i]);
+        EXPECT_EQ(single.num_avoid_mecs, multi[i].num_avoid_mecs);
+        EXPECT_EQ(single.num_fair_avoid_mecs, multi[i].num_fair_avoid_mecs);
+        EXPECT_EQ(single.fair_trap_reachable, multi[i].fair_trap_reachable);
+      }
+    }
+  }
+}
+
 // --- The acceptance matrix: every (algorithm x topology) instance the
 // parallel-engine suite pins, quantified. kProgressCertain instances must
 // certify Pmin = 1; kProgressFails instances must certify the gap
