@@ -12,15 +12,18 @@
 // (ring+pendant), and GDP2 is certified everywhere small.
 #include "bench_util.hpp"
 
-#include <cstdlib>
+#include <sys/resource.h>
 
-#include "gdp/common/pool.hpp"
+#include <cstdlib>
+#include <filesystem>
+
 #include "gdp/common/strings.hpp"
 #include "gdp/exp/runner.hpp"
 #include "gdp/graph/algorithms.hpp"
 #include "gdp/graph/builders.hpp"
 #include "gdp/mdp/par/par.hpp"
 #include "gdp/mdp/quant/quant.hpp"
+#include "gdp/mdp/store/store.hpp"
 #include "gdp/sim/state.hpp"
 
 using namespace gdp;
@@ -113,10 +116,11 @@ int main(int argc, char** argv) {
     b += s.aux.capacity() * sizeof(std::int32_t);
     return b;
   };
-  // On the multi-threaded indexed path every key transiently exists twice
-  // (the intern shards are still live while merge_into fills the returned
-  // StateIndex), so the honest peak doubles the per-state footprint there.
-  const bool parallel_path = common::effective_threads(opts.threads, ~std::size_t{0}) > 1;
+  // The level-synchronous explorer keeps every key twice for the whole run
+  // — once in the intern index and once in the id-ordered key array behind
+  // take_model and the chunked store — so the honest peak doubles the
+  // per-state footprint at every thread count.
+  const std::size_t copies = 2;
   for (const KeyCase& kc : key_cases) {
     const auto algo = algos::make_algorithm(kc.algo);
     mdp::StateIndex index;
@@ -124,7 +128,6 @@ int main(int argc, char** argv) {
     const auto& codec = index.codec();
     const std::size_t packed = codec.key_bytes();
     const std::size_t legacy = codec.legacy_key_bytes();
-    const std::size_t copies = parallel_path ? 2 : 1;
     const std::size_t peak_packed = index.size() * packed * copies;
     const std::size_t peak_legacy = index.size() * legacy * copies;
     // A frontier item is one provisional id plus the packed key (wide
@@ -168,5 +171,77 @@ int main(int argc, char** argv) {
   std::printf("  LR2 trapped: %llu/%d (%.3f), Wilson 95%% [%.3f, %.3f] — paper bound: positive\n",
               static_cast<unsigned long long>(trapped), kTrials,
               static_cast<double>(trapped) / kTrials, ci.low, ci.high);
+
+  // (d) Capped level-synchronous exploration straight into the chunked
+  // store, spill on: a Theorem-2-premise instance far past the in-RAM
+  // comfort zone (gdp2 on ring_with_chord(4) runs to ~6M states uncapped)
+  // explored to checkpoint-sized caps. Machine-readable copy lands in
+  // BENCH_explore.json for the CI tracking harness.
+  std::printf("\n(d) capped exploration into gdp::mdp::store, spill on (gdp2 on %s):\n",
+              graph::ring_with_chord(4).name().c_str());
+  {
+    const auto algo = algos::make_algorithm("gdp2");
+    const auto t = graph::ring_with_chord(4);
+    const std::string spill_dir = "bench_thm2_spill";
+    std::FILE* json = std::fopen("BENCH_explore.json", "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot open BENCH_explore.json for writing\n");
+      return 1;
+    }
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"explore_store\",\n"
+                 "  \"algo\": \"gdp2\",\n"
+                 "  \"topology\": \"%s\",\n"
+                 "  \"threads\": %d,\n"
+                 "  \"runs\": [\n",
+                 t.name().c_str(), threads);
+    stats::Table table({"cap", "states", "states/s", "peak RSS MB", "spill MB"});
+    const std::size_t caps[] = {100'000, 1'000'000};
+    for (std::size_t i = 0; i < std::size(caps); ++i) {
+      mdp::par::CheckOptions copts;
+      copts.threads = threads;
+      copts.max_states = caps[i];
+      mdp::store::StoreOptions sopts;
+      sopts.spill = true;
+      sopts.dir = spill_dir;
+      const bench::Stopwatch clock;
+      const auto chunked = mdp::store::explore(*algo, t, sopts, copts);
+      const double seconds = clock.seconds();
+      // ru_maxrss is KiB on Linux and a process-wide high-water mark
+      // (monotone across the caps), not a per-run delta.
+      struct rusage usage {};
+      ::getrusage(RUSAGE_SELF, &usage);
+      const std::size_t peak_rss = static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+      const double rate = static_cast<double>(chunked.num_states()) / seconds;
+      char rate_s[32], rss_s[32], spill_s[32];
+      std::snprintf(rate_s, sizeof rate_s, "%.0f", rate);
+      std::snprintf(rss_s, sizeof rss_s, "%.1f", peak_rss / (1024.0 * 1024.0));
+      std::snprintf(spill_s, sizeof spill_s, "%.1f",
+                    chunked.spilled_bytes() / (1024.0 * 1024.0));
+      table.add_row({std::to_string(caps[i]), std::to_string(chunked.num_states()), rate_s,
+                     rss_s, spill_s});
+      std::printf("  BENCH explore_store model=gdp2/%s threads=%d cap=%zu states=%zu "
+                  "truncated=%d states_per_sec=%.1f peak_rss_bytes=%zu spill_bytes=%zu "
+                  "chunks=%zu\n",
+                  t.name().c_str(), threads, caps[i], chunked.num_states(),
+                  chunked.truncated() ? 1 : 0, rate, peak_rss, chunked.spilled_bytes(),
+                  chunked.num_chunks());
+      std::fprintf(json,
+                   "    {\"cap\": %zu, \"states\": %zu, \"truncated\": %s,\n"
+                   "     \"seconds\": %.6f, \"states_per_sec\": %.1f,\n"
+                   "     \"peak_rss_bytes\": %zu, \"spill_bytes\": %zu,\n"
+                   "     \"resident_bytes\": %zu, \"chunks\": %zu}%s\n",
+                   caps[i], chunked.num_states(), chunked.truncated() ? "true" : "false",
+                   seconds, rate, peak_rss, chunked.spilled_bytes(), chunked.resident_bytes(),
+                   chunked.num_chunks(), i + 1 < std::size(caps) ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    table.print();
+    std::printf("  wrote BENCH_explore.json\n");
+    std::error_code ec;
+    std::filesystem::remove_all(spill_dir, ec);  // the spilled chunks served their purpose
+  }
   return 0;
 }

@@ -60,15 +60,21 @@ run_pass debug -DCMAKE_BUILD_TYPE=Debug
 if [[ "${SANITIZE}" == 1 ]]; then
   run_pass asan-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGDP_SANITIZE=ON
 
+  # Chunked-store pass with spill forced on: every ChunkedModel the store
+  # suite builds goes file-backed (tiny chunks, mmap reads), so ASan walks
+  # the mapping lifetimes and chunk-seam arithmetic.
+  echo "=== asan-ubsan: forced-spill chunked-store pass (ctest -L store) ==="
+  GDP_TEST_FORCE_SPILL=1 ctest --test-dir build/asan-ubsan --output-on-failure -L store
+
   # TSan pass over the threaded subsystems only (the parallel model checker
   # and the campaign runner); ASan and TSan cannot share a build tree.
   echo "=== tsan: configure ==="
   cmake -B build/tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGDP_SANITIZE_THREAD=ON \
     -DGDP_BUILD_BENCH=OFF -DGDP_BUILD_EXAMPLES=OFF
   echo "=== tsan: build ==="
-  cmake --build build/tsan -j "${JOBS}" --target test_mdp_par test_exp test_key test_quant
-  echo "=== tsan: ctest (test_mdp_par + test_exp + test_key + test_quant) ==="
-  ctest --test-dir build/tsan --output-on-failure -R 'test_mdp_par|test_exp|test_key|test_quant'
+  cmake --build build/tsan -j "${JOBS}" --target test_mdp_par test_exp test_key test_quant test_store
+  echo "=== tsan: ctest (test_mdp_par + test_exp + test_key + test_quant + test_store) ==="
+  ctest --test-dir build/tsan --output-on-failure -R 'test_mdp_par|test_exp|test_key|test_quant|test_store'
 fi
 
 echo "=== CI green ==="

@@ -1,95 +1,21 @@
 #include <cmath>
-#include <deque>
 
 #include "gdp/common/check.hpp"
 #include "gdp/mdp/key.hpp"
+#include "gdp/mdp/level_explore.hpp"
 #include "gdp/mdp/model.hpp"
 #include "gdp/mdp/witness.hpp"
-#include "gdp/sim/state.hpp"
-#include "gdp/sim/step.hpp"
 
 namespace gdp::mdp {
-
-/// Shared implementation; `index_out` (a StateIndex*) optionally receives
-/// the packed-key -> id map.
-Model detail_explore(const algos::Algorithm& algo, const graph::Topology& t,
-                     std::size_t max_states, void* index_out) {
-  GDP_CHECK_MSG(algo.config().think == algos::ThinkMode::kHungry,
-                "MDP exploration requires ThinkMode::kHungry");
-
-  Model model;
-  model.num_phils_ = t.num_phils();
-
-  const KeyCodec codec(algo, t);
-  StateIndex index;
-  index.reset(codec);
-  std::vector<sim::SimState> states;  // kept until exploration ends
-  std::deque<StateId> frontier;
-
-  PackedKey key;
-  auto intern = [&](const sim::SimState& s) -> StateId {
-    codec.encode(s, key);
-    const auto [it, inserted] = index.try_emplace(key, static_cast<StateId>(states.size()));
-    if (inserted) {
-      states.push_back(s);
-      model.eaters_.push_back(sim::eater_mask(s));
-      model.frontier_.push_back(true);
-      frontier.push_back(it->second);
-    }
-    return it->second;
-  };
-
-  intern(algo.initial_state(t));
-
-  const int n = t.num_phils();
-  while (!frontier.empty()) {
-    const StateId id = frontier.front();
-    if (states.size() >= max_states) {
-      // Cap reached: stop expanding; remaining frontier states keep their flag.
-      model.truncated_ = true;
-      break;
-    }
-    frontier.pop_front();
-    model.frontier_[id] = false;
-
-    const sim::SimState state = states[id];  // copy: `states` may reallocate
-    for (PhilId p = 0; p < n; ++p) {
-      const std::vector<sim::Branch> branches = algo.step(t, state, p);
-      for (const sim::Branch& b : branches) {
-        const StateId next = intern(b.next);
-        model.outcomes_.push_back(Outcome{static_cast<float>(b.prob), next});
-      }
-      model.offsets_.push_back(model.outcomes_.size());
-    }
-  }
-
-  // offsets_ currently holds row *ends* for expanded states only; rebuild the
-  // canonical CSR with a leading zero and empty rows for frontier states.
-  std::vector<std::uint64_t> offsets;
-  offsets.reserve(model.eaters_.size() * static_cast<std::size_t>(n) + 1);
-  offsets.push_back(0);
-  const std::size_t expanded_rows = model.offsets_.size();
-  std::size_t row = 0;
-  for (StateId s = 0; s < model.eaters_.size(); ++s) {
-    for (int p = 0; p < n; ++p) {
-      if (!model.frontier_[s]) {
-        GDP_DCHECK(row < expanded_rows);
-        offsets.push_back(model.offsets_[row++]);
-      } else {
-        offsets.push_back(offsets.back());  // empty row
-      }
-    }
-  }
-  model.offsets_ = std::move(offsets);
-
-  if (index_out != nullptr) *static_cast<StateIndex*>(index_out) = std::move(index);
-  return model;
-}
 
 Model Model::build(int num_phils, std::vector<std::uint64_t> offsets,
                    std::vector<Outcome> outcomes, std::vector<std::uint64_t> eaters,
                    std::vector<bool> frontier, bool truncated) {
   GDP_CHECK_MSG(num_phils > 0, "Model::build needs at least one philosopher");
+  GDP_CHECK_MSG(num_phils <= 64,
+                "Model::build: eater/target masks are 64-bit, so at most 64 philosophers are "
+                "supported, got "
+                    << num_phils);
   const std::size_t n = eaters.size();
   GDP_CHECK_MSG(n > 0, "Model::build needs at least one state");
   GDP_CHECK_MSG(frontier.size() == n, "Model::build: frontier/eaters size mismatch");
@@ -135,12 +61,16 @@ Model Model::build(int num_phils, std::vector<std::uint64_t> offsets,
 }
 
 Model explore(const algos::Algorithm& algo, const graph::Topology& t, std::size_t max_states) {
-  return detail_explore(algo, t, max_states, nullptr);
+  detail::LevelExplorer explorer(algo, t);
+  explorer.run(max_states, /*threads=*/1);
+  return explorer.take_model();
 }
 
 Model explore_indexed(const algos::Algorithm& algo, const graph::Topology& t,
                       std::size_t max_states, StateIndex& index_out) {
-  return detail_explore(algo, t, max_states, &index_out);
+  detail::LevelExplorer explorer(algo, t);
+  explorer.run(max_states, /*threads=*/1);
+  return explorer.take_model(&index_out);
 }
 
 }  // namespace gdp::mdp

@@ -43,7 +43,15 @@ KeyCodec::KeyCodec(const algos::Algorithm& algo, const graph::Topology& t) {
   // holder is stored +1 (0 = free), so the field must span [0, n].
   holder_bits_ = static_cast<std::uint8_t>(width_for(static_cast<unsigned>(num_phils_)));
   if (numbers_) {
-    nr_max_ = static_cast<std::uint16_t>(algo.effective_m(t));
+    // nr_max_ is 16-bit storage: a larger m would truncate here, shrink
+    // nr_bits_, and silently intern distinct states as one key. effective_m
+    // guards the same bound at its own boundary; this check keeps the codec
+    // sound even for callers that bypass it.
+    const int m = algo.effective_m(t);
+    GDP_CHECK_MSG(m >= 0 && m <= 0xffff,
+                  "KeyCodec: effective m " << m << " exceeds the 16-bit nr field; "
+                                              "keys would collide");
+    nr_max_ = static_cast<std::uint16_t>(m);
     nr_bits_ = static_cast<std::uint8_t>(width_for(nr_max_));
   }
   // Aux words hold philosopher ids or small counters in [-1, n-1] (the

@@ -94,6 +94,15 @@ class PackedKey {
   std::uint64_t* data() { return words_ <= kInlineWords ? inline_.data() : heap_; }
   const std::uint64_t* data() const { return words_ <= kInlineWords ? inline_.data() : heap_; }
 
+  /// Overwrites this key with `words` words copied from `w` — the
+  /// reconstruction path for keys stored as flat word runs (the level
+  /// explorer's per-level successor buffers, the chunked store's key runs).
+  void assign(const std::uint64_t* w, std::size_t words) {
+    resize(words);
+    std::uint64_t* d = data();
+    for (std::size_t i = 0; i < words; ++i) d[i] = w[i];
+  }
+
   /// Sets the width and zero-fills the payload (encode() overwrites it).
   void resize(std::size_t words) {
     if (words != words_) {

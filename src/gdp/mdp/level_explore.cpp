@@ -1,0 +1,172 @@
+#include "gdp/mdp/level_explore.hpp"
+
+#include "gdp/common/check.hpp"
+#include "gdp/common/pool.hpp"
+#include "gdp/sim/state.hpp"
+#include "gdp/sim/step.hpp"
+
+namespace gdp::mdp::detail {
+
+namespace {
+
+/// One state's expansion, recorded by the parallel phase of a level.
+/// Successor keys are flat key_words()-stride word runs, not PackedKeys, so
+/// a worker's output is a handful of contiguous vectors.
+struct Expansion {
+  std::vector<std::uint64_t> succ_words;   // key_words() words per successor
+  std::vector<std::uint64_t> succ_eaters;  // eater mask per successor
+  std::vector<float> probs;                // probability per successor
+  std::vector<std::uint32_t> row_ends;     // per philosopher, end in probs
+};
+
+}  // namespace
+
+LevelExplorer::LevelExplorer(const algos::Algorithm& algo, const graph::Topology& t)
+    : algo_(algo), topology_(t) {
+  GDP_CHECK_MSG(algo.config().think == algos::ThinkMode::kHungry,
+                "MDP exploration requires ThinkMode::kHungry");
+  // eater_mask/target_mask are one 64-bit word; beyond 64 philosophers they
+  // would alias onto bit 63 and verdicts would be silently wrong.
+  GDP_CHECK_MSG(t.num_phils() <= 64, "exploration supports at most 64 philosophers (the "
+                                     "eater/target masks are 64-bit), got "
+                                         << t.num_phils());
+  codec_ = KeyCodec(algo, t);
+  index_.reset(codec_);
+  const sim::SimState initial = algo.initial_state(t);
+  intern(codec_.encode(initial), sim::eater_mask(initial));
+}
+
+StateId LevelExplorer::intern(const PackedKey& key, std::uint64_t eater_bits) {
+  const auto [it, inserted] = index_.try_emplace(key, static_cast<StateId>(keys_.size()));
+  if (inserted) {
+    keys_.push_back(key);
+    eaters_.push_back(eater_bits);
+  }
+  return it->second;
+}
+
+void LevelExplorer::restore(const Model& model, std::vector<PackedKey> keys) {
+  GDP_CHECK_MSG(model.num_phils() == topology_.num_phils(),
+                "restore: model has " << model.num_phils() << " philosophers, topology has "
+                                      << topology_.num_phils());
+  GDP_CHECK_MSG(keys.size() == model.num_states(),
+                "restore: " << keys.size() << " keys for " << model.num_states() << " states");
+  GDP_CHECK_MSG(!keys.empty() && keys[0] == codec_.encode(algo_.initial_state(topology_)),
+                "restore: state 0 is not this (algorithm, topology)'s initial state");
+
+  // The level-synchronous invariant: expanded states are an id prefix,
+  // frontier states the tail. Anything else is not a checkpoint this
+  // explorer produced.
+  std::size_t expanded = 0;
+  while (expanded < keys.size() && !model.frontier_[expanded]) ++expanded;
+  for (std::size_t s = expanded; s < keys.size(); ++s) {
+    GDP_CHECK_MSG(model.frontier_[s],
+                  "restore: expanded state " << s << " follows a frontier state — the model is "
+                                                "not a level-synchronous prefix");
+  }
+
+  const std::size_t n = static_cast<std::size_t>(model.num_phils());
+  keys_ = std::move(keys);
+  eaters_ = model.eaters_;
+  outcomes_ = model.outcomes_;
+  row_ends_.clear();
+  row_ends_.reserve(expanded * n);
+  for (std::size_t s = 0; s < expanded; ++s) {
+    for (std::size_t p = 0; p < n; ++p) row_ends_.push_back(model.offsets_[s * n + p + 1]);
+  }
+  num_expanded_ = expanded;
+  truncated_ = false;
+
+  index_.reset(codec_);
+  index_.reserve(keys_.size());
+  for (std::size_t s = 0; s < keys_.size(); ++s) {
+    const auto [it, inserted] = index_.try_emplace(keys_[s], static_cast<StateId>(s));
+    GDP_CHECK_MSG(inserted, "restore: duplicate key at state " << s);
+  }
+}
+
+void LevelExplorer::run(std::size_t max_states, int threads) {
+  const int n = topology_.num_phils();
+  const std::size_t kw = codec_.key_words();
+  truncated_ = false;
+
+  std::vector<Expansion> level;
+  PackedKey scratch;
+  while (num_expanded_ < keys_.size()) {
+    if (keys_.size() >= max_states) {
+      // Cap reached at a level boundary: stop before the next level. Every
+      // state is either fully expanded or untouched frontier, so the capped
+      // model is a pure function of (algorithm, topology, max_states).
+      truncated_ = true;
+      return;
+    }
+    const std::size_t begin = num_expanded_;
+    const std::size_t count = keys_.size() - begin;
+
+    // Parallel phase: expand each state of the level into its own buffer.
+    // Workers read shared immutable state and write only their task's slot.
+    level.assign(count, Expansion{});
+    common::parallel_for(count, threads, [&](std::uint32_t i) {
+      const sim::SimState state = codec_.decode(keys_[begin + i]);
+      Expansion& e = level[i];
+      e.row_ends.reserve(static_cast<std::size_t>(n));
+      PackedKey key;
+      for (PhilId p = 0; p < n; ++p) {
+        const std::vector<sim::Branch> branches = algo_.step(topology_, state, p);
+        for (const sim::Branch& b : branches) {
+          codec_.encode(b.next, key);
+          const std::uint64_t* w = key.data();
+          e.succ_words.insert(e.succ_words.end(), w, w + kw);
+          e.succ_eaters.push_back(sim::eater_mask(b.next));
+          e.probs.push_back(static_cast<float>(b.prob));
+        }
+        e.row_ends.push_back(static_cast<std::uint32_t>(e.probs.size()));
+      }
+    });
+
+    // Sequential epilogue: intern successors and materialize rows in
+    // (state, philosopher, branch) order — the id assignment is the FIFO
+    // BFS order, unchanged from the historical sequential explorer.
+    for (std::size_t i = 0; i < count; ++i) {
+      const Expansion& e = level[i];
+      std::size_t j = 0;
+      for (std::size_t p = 0; p < e.row_ends.size(); ++p) {
+        for (; j < e.row_ends[p]; ++j) {
+          scratch.assign(e.succ_words.data() + j * kw, kw);
+          outcomes_.push_back(Outcome{e.probs[j], intern(scratch, e.succ_eaters[j])});
+        }
+        row_ends_.push_back(outcomes_.size());
+      }
+    }
+    num_expanded_ = begin + count;
+  }
+}
+
+Model LevelExplorer::take_model(StateIndex* index_out, std::vector<PackedKey>* keys_out) {
+  const std::size_t n = static_cast<std::size_t>(topology_.num_phils());
+  const std::size_t total = keys_.size();
+
+  Model model;
+  model.num_phils_ = static_cast<int>(n);
+  model.truncated_ = truncated_;
+  model.eaters_ = std::move(eaters_);
+  model.outcomes_ = std::move(outcomes_);
+  model.frontier_.assign(total, false);
+  for (std::size_t s = num_expanded_; s < total; ++s) model.frontier_[s] = true;
+
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(total * n + 1);
+  offsets.push_back(0);
+  for (std::size_t s = 0; s < total; ++s) {
+    for (std::size_t p = 0; p < n; ++p) {
+      offsets.push_back(s < num_expanded_ ? row_ends_[s * n + p] : offsets.back());
+    }
+  }
+  model.offsets_ = std::move(offsets);
+
+  if (index_out != nullptr) *index_out = std::move(index_);
+  if (keys_out != nullptr) *keys_out = std::move(keys_);
+  return model;
+}
+
+}  // namespace gdp::mdp::detail

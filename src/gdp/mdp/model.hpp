@@ -16,9 +16,9 @@
 
 namespace gdp::mdp {
 
-namespace par {
-class ModelAssembler;
-}  // namespace par
+namespace detail {
+class LevelExplorer;
+}  // namespace detail
 
 using StateId = std::uint32_t;
 
@@ -29,6 +29,12 @@ struct Outcome {
 
 /// CSR-packed MDP. Row (state s, philosopher p) holds the probabilistic
 /// outcomes of scheduling p in s; every state has exactly `num_phils` rows.
+///
+/// Limit: at most 64 philosophers. `eaters()` and every target/avoid set
+/// are single 64-bit masks (bit p = philosopher p); beyond 64 philosophers
+/// the masks would silently alias, so construction refuses instead
+/// (GDP_CHECK in Model::build and in the explorers). Lifting the limit
+/// means widening the masks end to end — model, end components, quant.
 class Model {
  public:
   int num_phils() const { return num_phils_; }
@@ -68,11 +74,9 @@ class Model {
                      std::vector<bool> frontier, bool truncated = false);
 
  private:
-  friend Model detail_explore(const algos::Algorithm&, const graph::Topology&, std::size_t,
-                              void* index_out);
-  /// The parallel explorer's canonical-renumbering pass builds the same
-  /// CSR arrays from its sharded intermediate form (gdp/mdp/par/explore.cpp).
-  friend class par::ModelAssembler;
+  /// The shared level-synchronous explorer (gdp/mdp/level_explore.hpp)
+  /// builds the CSR arrays in place and re-seeds from them on resume.
+  friend class detail::LevelExplorer;
 
   int num_phils_ = 0;
   std::vector<std::uint64_t> offsets_;  // (num_states * num_phils) + 1
@@ -82,9 +86,12 @@ class Model {
   bool truncated_ = false;
 };
 
-/// Breadth-first exploration from the algorithm's initial state (all
-/// philosophers thinking). Stops expanding at `max_states`; unexpanded
-/// frontier states are flagged on the model.
+/// Level-synchronous breadth-first exploration from the algorithm's initial
+/// state (all philosophers thinking). The `max_states` cap applies at BFS
+/// level boundaries: a run never stops mid-level, so a capped model is a
+/// pure function of (algorithm, topology, max_states) — identical to the
+/// parallel par::explore at every thread count — and its unexpanded
+/// frontier states (flagged on the model) are always the id tail.
 ///
 /// Requires ThinkMode::kHungry (the proofs' all-hungry setting) so the MDP
 /// stays finite and E-avoidance is meaningful.

@@ -1,512 +1,30 @@
-// Parallel state-space exploration with a deterministic canonical form.
+// Parallel state-space exploration.
 //
-// Phase 1 (parallel): workers expand states off per-worker frontiers
-// (steal-half balancing, as in gdp::exp). Discovered states intern into
-// N hash-sharded tables keyed by the packed fixed-width exploration key
-// (gdp/mdp/key.hpp) and get *provisional* ids from a global counter — an
-// ordering that depends on scheduling and is different on every run.
-//
-// Phase 2 (the epilogue): a canonical renumbering replays the breadth-first
-// discovery over the recorded expansions — no algorithm step() calls, just
-// pointer chasing — assigning ids exactly the way the sequential explorer's
-// FIFO interning does. The id assignment itself is a sequential prefix pass
-// (each id depends on all earlier ones), but everything around it runs on
-// the shared pool: the expansion-log gather, the CSR row materialization
-// with its provisional->canonical id rewrites, and (in par/end_components)
-// the reachable-states sweep. The assembled Model is therefore bit-identical
-// to mdp::explore's for every thread count.
-//
-// Truncation: the sequential explorer's cap semantics depend on its exact
-// BFS order, so the moment the parallel phase discovers that the cap will
-// be hit (>= max_states distinct states exist) it aborts and the sequential
-// explorer runs instead. Complete models — the only ones that certify the
-// paper's theorems — never take that path.
-#include <deque>
-#include <optional>
-#include <thread>
-#include <unordered_map>
-#include <vector>
-
-#include "gdp/common/check.hpp"
-#include "gdp/common/pool.hpp"
-#include "gdp/common/thread_annotations.hpp"
-#include "gdp/mdp/key.hpp"
+// Since the level-synchronous rework this is a thin wrapper over the shared
+// engine in gdp/mdp/level_explore.hpp: the per-level expansion fans out on
+// the pool, the interning epilogue is a sequential in-order pass, and the
+// cap applies at level boundaries — so sequential and parallel exploration
+// are the SAME computation and the model (complete or capped) is
+// bit-identical at every thread count by construction. The historical
+// sharded-intern + provisional-renumbering engine, and with it the
+// sequential truncation replay that made capped runs a single-threaded dead
+// end, are gone.
+#include "gdp/mdp/level_explore.hpp"
 #include "gdp/mdp/par/par.hpp"
-#include "gdp/sim/state.hpp"
-#include "gdp/sim/step.hpp"
 
 namespace gdp::mdp::par {
 
-namespace {
-
-constexpr StateId kUnset = ~StateId{0};
-
-/// An outcome recorded against provisional state ids.
-struct ProvOutcome {
-  float prob = 0.0f;
-  std::uint32_t next = 0;
-};
-
-/// One expanded state: its eater mask plus its rows, recorded by whichever
-/// worker expanded it (each state is expanded exactly once).
-struct Expansion {
-  std::uint32_t prov = 0;
-  std::uint64_t eaters = 0;
-  std::vector<ProvOutcome> outcomes;     // all rows, concatenated
-  std::vector<std::uint32_t> row_ends;   // per philosopher, end index in outcomes
-};
-
-/// A frontier entry carries the packed exploration key — a few words —
-/// instead of a full SimState; the expanding worker (owner or thief)
-/// re-derives the state with KeyCodec::decode. Decoding costs about as
-/// much as the SimState copy it replaces, and the frontier shrinks to the
-/// same fixed-width footprint the intern tables got in PR 4.
-struct Item {
-  std::uint32_t prov = 0;
-  PackedKey key;
-};
-
-/// Per-worker frontier: a mutex-guarded deque. Owners pop oldest-first
-/// (breadth-first-ish order keeps the discovery frontier compact); thieves
-/// take the back half in one grab.
-struct Frontier {
-  common::Mutex mu;
-  std::deque<Item> items GDP_GUARDED_BY(mu);
-  /// Lock-free size estimate for victim selection only (never used for
-  /// correctness decisions), refreshed on every mutation under `mu`.
-  std::atomic<std::size_t> approx{0};
-
-  void push(Item&& item) GDP_EXCLUDES(mu) {
-    common::MutexLock lock(mu);
-    items.push_back(std::move(item));
-    approx.store(items.size(), std::memory_order_relaxed);
-  }
-
-  std::optional<Item> pop() GDP_EXCLUDES(mu) {
-    common::MutexLock lock(mu);
-    if (items.empty()) return std::nullopt;
-    Item item = std::move(items.front());
-    items.pop_front();
-    approx.store(items.size(), std::memory_order_relaxed);
-    return item;
-  }
-
-  /// Moves the back half of this frontier into `thief`. Never holds both
-  /// locks at once (steals buffer through a local vector), so concurrent
-  /// mutual steals cannot deadlock.
-  bool steal_into(Frontier& thief) GDP_EXCLUDES(mu, thief.mu) {
-    std::vector<Item> grabbed;
-    {
-      common::MutexLock lock(mu);
-      if (items.empty()) return false;
-      const std::size_t k = (items.size() + 1) / 2;
-      grabbed.reserve(k);
-      for (std::size_t i = 0; i < k; ++i) {
-        grabbed.push_back(std::move(items.back()));
-        items.pop_back();
-      }
-      approx.store(items.size(), std::memory_order_relaxed);
-    }
-    {
-      common::MutexLock lock(thief.mu);
-      for (auto it = grabbed.rbegin(); it != grabbed.rend(); ++it) {
-        thief.items.push_back(std::move(*it));
-      }
-      thief.approx.store(thief.items.size(), std::memory_order_relaxed);
-    }
-    return true;
-  }
-};
-
-/// Hash-sharded concurrent intern table: packed key -> provisional id.
-/// Shard choice reuses PackedKeyHash, so contention spreads the same way
-/// the buckets do.
-class InternShards {
- public:
-  static constexpr std::size_t kShards = 64;
-
-  /// Interns `key`; newly seen keys get ids from the global counter.
-  /// Returns (provisional id, inserted).
-  std::pair<std::uint32_t, bool> intern(const PackedKey& key) {
-    const std::size_t h = PackedKeyHash{}(key);
-    Shard& shard = shards_[h & (kShards - 1)];
-    common::MutexLock lock(shard.mu);
-    const auto [it, inserted] = shard.map.try_emplace(key, 0);
-    if (inserted) it->second = next_id_.fetch_add(1, std::memory_order_relaxed);
-    return {it->second, inserted};
-  }
-
-  std::uint32_t count() const { return next_id_.load(std::memory_order_relaxed); }
-
-  /// Merges all shards into `out` (whose codec the caller set), translating
-  /// provisional ids through `canon`. Called after the pool joined; the
-  /// per-shard locks are uncontended by then and taken only to satisfy the
-  /// static discipline (64 lock round-trips total).
-  void merge_into(StateIndex& out, const std::vector<StateId>& canon) const {
-    out.reserve(count());
-    for (const Shard& shard : shards_) {
-      common::MutexLock lock(shard.mu);
-      // Insertion into `out` rebuilds a hash map: its contents are a set,
-      // so the shard's iteration order cannot leak into any result.
-      // gdp-lint: allow(unordered-iteration) — rebuilds an unordered index; order-free
-      for (const auto& [key, prov] : shard.map) out.try_emplace(key, canon[prov]);
-    }
-  }
-
-  /// Provisional id of `key`, or -1 if the parallel phase never saw it.
-  std::int64_t find(const PackedKey& key) const {
-    const Shard& shard = shards_[PackedKeyHash{}(key) & (kShards - 1)];
-    common::MutexLock lock(shard.mu);
-    const auto it = shard.map.find(key);
-    return it == shard.map.end() ? -1 : static_cast<std::int64_t>(it->second);
-  }
-
-  /// Visits every (key, provisional id) pair, in no particular order —
-  /// callers park results at the provisional id, never fold in visit order.
-  template <typename Fn>
-  void for_each(Fn&& fn) const {
-    for (const Shard& shard : shards_) {
-      common::MutexLock lock(shard.mu);
-      // gdp-lint: allow(unordered-iteration) — consumers index by prov id; order-free
-      for (const auto& [key, prov] : shard.map) fn(key, prov);
-    }
-  }
-
- private:
-  struct Shard {
-    mutable common::Mutex mu;
-    std::unordered_map<PackedKey, std::uint32_t, PackedKeyHash> map GDP_GUARDED_BY(mu);
-  };
-  Shard shards_[kShards];
-  std::atomic<std::uint32_t> next_id_{0};
-};
-
-}  // namespace
-
-/// Friend of Model: builds the canonical CSR arrays from the parallel
-/// phase's provisional expansions plus the renumbering (complete models),
-/// and replays the sequential explorer's cap semantics over the recorded
-/// expansions (truncated models).
-class ModelAssembler {
- public:
-  /// Cap-hitting fallback: reproduces mdp::explore's truncated model bit
-  /// for bit by running the sequential breadth-first loop, but serving
-  /// expansions from the parallel phase's logs wherever they exist — the
-  /// algorithm only steps for states the parallel phase never expanded,
-  /// re-derived from their packed keys with KeyCodec::decode (the replay
-  /// keeps one PackedKey per state instead of a SimState copy).
-  static Model replay_truncated(const algos::Algorithm& algo, const graph::Topology& t,
-                                const KeyCodec& codec, std::size_t max_states,
-                                StateIndex* index_out, const InternShards& interned,
-                                const std::vector<std::vector<Expansion>>& logs) {
-    const int n = t.num_phils();
-    const std::size_t total_prov = interned.count();
-
-    // Provisional-world lookups. Invariant of the parallel phase: every
-    // provisional state has an interned key; expanded ones also have a
-    // recorded expansion (the rest decode their key on demand).
-    std::vector<const Expansion*> exp_of(total_prov, nullptr);
-    for (const auto& log : logs) {
-      for (const Expansion& e : log) exp_of[e.prov] = &e;
-    }
-    std::vector<const PackedKey*> key_of(total_prov, nullptr);
-    interned.for_each([&](const PackedKey& key, StateId prov) { key_of[prov] = &key; });
-
-    Model model;
-    model.num_phils_ = n;
-    StateIndex index;
-    index.reset(codec);
-    std::vector<std::int64_t> prov_of_id;  // replay id -> provisional id (or -1)
-    std::vector<PackedKey> keys;           // replay id -> key (decoded on demand)
-    std::deque<StateId> frontier;
-
-    // The sequential intern, cross-linked with the provisional world so
-    // cached expansions are found again. Exactly one of `s` / `prov` is
-    // known on entry.
-    PackedKey scratch;
-    auto intern = [&](const sim::SimState* s, std::int64_t prov) -> StateId {
-      const PackedKey* key;
-      if (s != nullptr) {
-        codec.encode(*s, scratch);
-        key = &scratch;
-      } else {
-        key = key_of[static_cast<std::size_t>(prov)];
-      }
-      const auto [it, inserted] = index.try_emplace(*key, static_cast<StateId>(keys.size()));
-      if (!inserted) return it->second;
-      if (prov < 0) prov = interned.find(*key);
-      prov_of_id.push_back(prov);
-      keys.push_back(*key);
-      std::uint64_t eaters;
-      if (s != nullptr) {
-        eaters = sim::eater_mask(*s);
-      } else {
-        const Expansion* cached = exp_of[static_cast<std::size_t>(prov)];
-        eaters = cached != nullptr ? cached->eaters : sim::eater_mask(codec.decode(*key));
-      }
-      model.eaters_.push_back(eaters);
-      model.frontier_.push_back(true);
-      frontier.push_back(it->second);
-      return it->second;
-    };
-
-    {
-      const sim::SimState initial = algo.initial_state(t);
-      intern(&initial, -1);
-    }
-
-    while (!frontier.empty()) {
-      const StateId id = frontier.front();
-      if (keys.size() >= max_states) {
-        model.truncated_ = true;
-        break;
-      }
-      frontier.pop_front();
-      model.frontier_[id] = false;
-
-      const std::int64_t prov = prov_of_id[id];
-      const Expansion* cached = prov >= 0 ? exp_of[static_cast<std::size_t>(prov)] : nullptr;
-      if (cached != nullptr) {
-        std::uint32_t begin = 0;
-        for (const std::uint32_t end : cached->row_ends) {
-          for (std::uint32_t j = begin; j < end; ++j) {
-            const ProvOutcome& o = cached->outcomes[j];
-            const StateId next = intern(nullptr, o.next);
-            model.outcomes_.push_back(Outcome{o.prob, next});
-          }
-          model.offsets_.push_back(model.outcomes_.size());
-          begin = end;
-        }
-      } else {
-        const sim::SimState state = codec.decode(keys[id]);
-        for (PhilId p = 0; p < n; ++p) {
-          const std::vector<sim::Branch> branches = algo.step(t, state, p);
-          for (const sim::Branch& b : branches) {
-            const StateId next = intern(&b.next, -1);
-            model.outcomes_.push_back(Outcome{static_cast<float>(b.prob), next});
-          }
-          model.offsets_.push_back(model.outcomes_.size());
-        }
-      }
-    }
-
-    // offsets_ holds row ends for expanded states only; rebuild the
-    // canonical CSR with a leading zero and empty rows for frontier states
-    // (mirrors the sequential explorer's epilogue exactly).
-    std::vector<std::uint64_t> offsets;
-    offsets.reserve(model.eaters_.size() * static_cast<std::size_t>(n) + 1);
-    offsets.push_back(0);
-    std::size_t row = 0;
-    for (StateId s = 0; s < model.eaters_.size(); ++s) {
-      for (int p = 0; p < n; ++p) {
-        if (!model.frontier_[s]) {
-          offsets.push_back(model.offsets_[row++]);
-        } else {
-          offsets.push_back(offsets.back());  // empty row
-        }
-      }
-    }
-    model.offsets_ = std::move(offsets);
-
-    if (index_out != nullptr) *index_out = std::move(index);
-    return model;
-  }
-
-  /// Complete-model assembly: rows materialize in parallel. Per-state CSR
-  /// bases come from a sequential prefix sum (cheap — one add per state);
-  /// the expensive parts — copying every outcome while rewriting its
-  /// provisional id to the canonical one, and writing the per-row offsets —
-  /// touch disjoint index ranges per state and run on the pool.
-  static Model assemble(int num_phils, const std::vector<const Expansion*>& exp_of,
-                        const std::vector<StateId>& canon,
-                        const std::vector<std::uint32_t>& order, int threads) {
-    const std::size_t total = order.size();
-    Model model;
-    model.num_phils_ = num_phils;
-    model.eaters_.resize(total);
-    model.frontier_.assign(total, false);  // complete model: every state expanded
-    model.truncated_ = false;
-
-    std::vector<std::uint64_t> base(total + 1, 0);
-    for (std::size_t i = 0; i < total; ++i) {
-      base[i + 1] = base[i] + exp_of[order[i]]->outcomes.size();
-    }
-    model.outcomes_.resize(base[total]);
-    model.offsets_.resize(total * static_cast<std::size_t>(num_phils) + 1);
-    model.offsets_[0] = 0;
-
-    common::parallel_for(total, threads, [&](std::uint32_t i) {
-      const Expansion* e = exp_of[order[i]];
-      model.eaters_[i] = e->eaters;
-      const std::uint64_t b = base[i];
-      for (std::size_t j = 0; j < e->outcomes.size(); ++j) {
-        const ProvOutcome& o = e->outcomes[j];
-        model.outcomes_[b + j] = Outcome{o.prob, canon[o.next]};
-      }
-      std::uint64_t* row = model.offsets_.data() + i * static_cast<std::size_t>(num_phils) + 1;
-      for (std::size_t p = 0; p < e->row_ends.size(); ++p) row[p] = b + e->row_ends[p];
-    });
-    return model;
-  }
-};
-
-namespace {
-
-Model detail_par_explore(const algos::Algorithm& algo, const graph::Topology& t,
-                         const CheckOptions& options, StateIndex* index_out) {
-  GDP_CHECK_MSG(algo.config().think == algos::ThinkMode::kHungry,
-                "MDP exploration requires ThinkMode::kHungry");
-
-  auto sequential = [&]() {
-    if (index_out != nullptr) return explore_indexed(algo, t, options.max_states, *index_out);
-    return mdp::explore(algo, t, options.max_states);
-  };
-
-  // A frontier per worker is the unit of parallelism here; the task count
-  // is unknown up front, so clamp only against hardware.
-  const unsigned n = common::effective_threads(options.threads, ~std::size_t{0});
-  if (n <= 1) return sequential();
-
-  const int num_phils = t.num_phils();
-  const KeyCodec codec(algo, t);
-  InternShards interned;
-  std::vector<Frontier> frontiers(n);
-  std::vector<std::vector<Expansion>> logs(n);
-  std::atomic<std::size_t> pending{0};      // states interned but not yet expanded
-  std::atomic<bool> hit_cap{false};
-  std::atomic<bool> abort{false};
-
-  // Seed: the initial state is provisional id 0 on worker 0's frontier.
-  {
-    const sim::SimState initial = algo.initial_state(t);
-    PackedKey key;
-    codec.encode(initial, key);
-    const auto [prov, inserted] = interned.intern(key);
-    GDP_DCHECK(inserted && prov == 0);
-    if (interned.count() >= options.max_states) return sequential();
-    pending.store(1, std::memory_order_relaxed);
-    frontiers[0].push(Item{prov, std::move(key)});
-  }
-
-  common::run_workers(n, [&](unsigned me) {
-    try {
-      PackedKey key;
-      common::Backoff backoff;
-      while (!abort.load(std::memory_order_relaxed)) {
-        std::optional<Item> item = frontiers[me].pop();
-        if (!item) {
-          // Steal the back half of the fullest frontier; if nothing is
-          // stealable and nothing is in flight, exploration is complete.
-          unsigned victim = n;
-          std::size_t best = 0;
-          for (unsigned v = 0; v < n; ++v) {
-            if (v == me) continue;
-            const std::size_t r = frontiers[v].approx.load(std::memory_order_relaxed);
-            if (r > best) {
-              best = r;
-              victim = v;
-            }
-          }
-          if (victim < n && frontiers[victim].steal_into(frontiers[me])) continue;
-          if (pending.load(std::memory_order_acquire) == 0) break;
-          backoff.pause();
-          continue;
-        }
-        backoff.reset();
-
-        const sim::SimState state = codec.decode(item->key);
-        Expansion e;
-        e.prov = item->prov;
-        e.eaters = sim::eater_mask(state);
-        e.row_ends.reserve(static_cast<std::size_t>(num_phils));
-        for (PhilId p = 0; p < num_phils; ++p) {
-          const std::vector<sim::Branch> branches = algo.step(t, state, p);
-          for (const sim::Branch& b : branches) {
-            codec.encode(b.next, key);
-            const auto [prov, inserted] = interned.intern(key);
-            if (inserted) {
-              // The sequential explorer truncates exactly when >= max_states
-              // distinct states exist; its cap semantics depend on its own
-              // BFS order, so hand the whole job back to it.
-              if (interned.count() >= options.max_states) {
-                hit_cap.store(true, std::memory_order_relaxed);
-                abort.store(true, std::memory_order_relaxed);
-              }
-              pending.fetch_add(1, std::memory_order_relaxed);
-              frontiers[me].push(Item{prov, key});
-            }
-            e.outcomes.push_back(ProvOutcome{static_cast<float>(b.prob), prov});
-          }
-          e.row_ends.push_back(static_cast<std::uint32_t>(e.outcomes.size()));
-        }
-        logs[me].push_back(std::move(e));
-        pending.fetch_sub(1, std::memory_order_release);
-      }
-    } catch (...) {
-      abort.store(true, std::memory_order_relaxed);
-      throw;  // run_workers rethrows the first worker exception
-    }
-  });
-
-  if (hit_cap.load(std::memory_order_relaxed)) {
-    // Truncation order is the sequential explorer's; replay it over the
-    // recorded expansions instead of re-exploring from scratch.
-    return ModelAssembler::replay_truncated(algo, t, codec, options.max_states, index_out,
-                                            interned, logs);
-  }
-
-  // --- Epilogue: canonical renumbering + parallel assembly. ---
-
-  // Gather the expansion logs: one task per worker log; provisional ids are
-  // unique across logs, so the writes into exp_of are disjoint.
-  const std::size_t total = interned.count();
-  std::vector<const Expansion*> exp_of(total, nullptr);
-  common::parallel_for(logs.size(), options.threads, [&](std::uint32_t w) {
-    for (const Expansion& e : logs[w]) exp_of[e.prov] = &e;
-  });
-
-  // Replay the sequential explorer's FIFO discovery over the recorded
-  // expansions: canonical id = breadth-first first-encounter order, rows
-  // scanned philosopher-major exactly as intern() calls happen in
-  // mdp::explore. order[i] is the provisional id of canonical state i.
-  // Inherently a sequential prefix pass (each id depends on all earlier
-  // discoveries), but it is one array read per recorded outcome — the
-  // expensive row materialization around it runs on the pool.
-  std::vector<StateId> canon(total, kUnset);
-  std::vector<std::uint32_t> order;
-  order.reserve(total);
-  canon[0] = 0;
-  order.push_back(0);
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    const Expansion* e = exp_of[order[i]];
-    GDP_DCHECK(e != nullptr);
-    for (const ProvOutcome& o : e->outcomes) {
-      if (canon[o.next] == kUnset) {
-        canon[o.next] = static_cast<StateId>(order.size());
-        order.push_back(o.next);
-      }
-    }
-  }
-  GDP_CHECK_MSG(order.size() == total,
-                "parallel explore interned " << total << " states but only " << order.size()
-                                             << " are reachable from the initial state");
-
-  if (index_out != nullptr) {
-    index_out->reset(codec);
-    interned.merge_into(*index_out, canon);
-  }
-  return ModelAssembler::assemble(num_phils, exp_of, canon, order, options.threads);
-}
-
-}  // namespace
-
 Model explore(const algos::Algorithm& algo, const graph::Topology& t, CheckOptions options) {
-  return detail_par_explore(algo, t, options, nullptr);
+  detail::LevelExplorer explorer(algo, t);
+  explorer.run(options.max_states, options.threads);
+  return explorer.take_model();
 }
 
 Model explore_indexed(const algos::Algorithm& algo, const graph::Topology& t,
                       StateIndex& index_out, CheckOptions options) {
-  return detail_par_explore(algo, t, options, &index_out);
+  detail::LevelExplorer explorer(algo, t);
+  explorer.run(options.max_states, options.threads);
+  return explorer.take_model(&index_out);
 }
 
 }  // namespace gdp::mdp::par

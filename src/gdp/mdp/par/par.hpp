@@ -5,18 +5,16 @@
 // work-stealing pool (gdp/common/pool.hpp), the same substrate that
 // parallelized the sampling side in gdp::exp:
 //
-//   * explore / explore_indexed — breadth-first state-space construction
-//     with hash-sharded concurrent interning of packed fixed-width state
-//     keys (gdp/mdp/key.hpp, sharded on PackedKeyHash), per-worker
-//     frontiers with steal-half balancing, and a deterministic
-//     canonical-renumbering epilogue whose row materialization and id
-//     rewrites run on the pool. The resulting Model is
-//     BIT-IDENTICAL to the sequential mdp::explore for every thread count:
-//     same state numbering, same CSR offsets, same outcome bytes. When the
-//     state cap truncates exploration (truncation order is inherently
-//     sequential) the engine replays the sequential BFS over the recorded
-//     expansions, stepping the algorithm only for states the parallel
-//     phase never expanded — the guarantee holds there too.
+//   * explore / explore_indexed — level-synchronous breadth-first
+//     state-space construction on the shared engine
+//     (gdp/mdp/level_explore.hpp): each BFS level expands in parallel into
+//     per-state buffers, successors intern in a sequential in-order
+//     epilogue, and the state cap applies at level boundaries. The
+//     resulting Model is BIT-IDENTICAL to the sequential mdp::explore for
+//     every thread count — same state numbering, same CSR offsets, same
+//     outcome bytes — including capped runs, which stay fully parallel
+//     (no sequential fallback) and leave their unexpanded frontier as the
+//     id tail, resumable via gdp::mdp::store.
 //
 //   * maximal_end_components — fork/join SCC decomposition (forward-
 //     backward reachability splitting, sequential Tarjan below a region
@@ -49,9 +47,9 @@ struct CheckOptions {
   /// sequential engines directly (bit-identical by construction).
   int threads = 0;
 
-  /// Exploration state cap, as in mdp::explore. Hitting the cap replays
-  /// the sequential BFS over the recorded expansions, so truncated models
-  /// stay bit-identical too.
+  /// Exploration state cap, as in mdp::explore: applied at BFS level
+  /// boundaries, so capped models are bit-identical to the sequential
+  /// explorer's at every thread count (and resumable, see gdp::mdp::store).
   std::size_t max_states = 2'000'000;
 
   /// Candidate sets smaller than this run the sequential MEC decomposition

@@ -793,6 +793,14 @@ std::string QuantResult::summary() const {
 QuantResult analyze(const Model& model, std::uint64_t target_set, QuantOptions options) {
   GDP_CHECK_MSG(options.epsilon > 0.0, "quant::analyze needs epsilon > 0");
   GDP_CHECK_MSG(target_set != 0, "quant::analyze needs a non-empty target set");
+  // target_set is one 64-bit mask (bit p = philosopher p): beyond 64
+  // philosophers the mask cannot address every philosopher and verdicts
+  // would be silently wrong. Model construction refuses such models too;
+  // this guards hand-built callers at the mask entry point.
+  GDP_CHECK_MSG(model.num_phils() <= 64,
+                "quant::analyze: target masks are 64-bit, so at most 64 philosophers are "
+                "supported, got "
+                    << model.num_phils());
   SharedSweeps shared = make_shared_sweeps(model, options.check_options());
   return analyze_one(model, target_set, options, shared);
 }
@@ -800,6 +808,10 @@ QuantResult analyze(const Model& model, std::uint64_t target_set, QuantOptions o
 std::vector<QuantResult> analyze(const Model& model, const std::vector<std::uint64_t>& targets,
                                  QuantOptions options) {
   GDP_CHECK_MSG(options.epsilon > 0.0, "quant::analyze needs epsilon > 0");
+  GDP_CHECK_MSG(model.num_phils() <= 64,
+                "quant::analyze: target masks are 64-bit, so at most 64 philosophers are "
+                "supported, got "
+                    << model.num_phils());
   for (const std::uint64_t target_set : targets) {
     GDP_CHECK_MSG(target_set != 0, "quant::analyze needs non-empty target sets");
   }

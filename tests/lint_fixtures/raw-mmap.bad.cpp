@@ -1,0 +1,16 @@
+// Seeded violation: a raw mmap outside gdp/mdp/store/ — memory-mapped I/O
+// with no fingerprint verification can hand back silently corrupt bytes.
+#include <sys/mman.h>
+
+#include <cstddef>
+
+namespace fixture {
+
+const void* map_table(int fd, std::size_t bytes) {
+  void* addr = ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  return addr == MAP_FAILED ? nullptr : addr;
+}
+
+void drop_table(void* addr, std::size_t bytes) { ::munmap(addr, bytes); }
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Clean counterpart: file-backed reads go through the fingerprint-verified
+// chunk store; the one low-level site carries a justified suppression.
+#include <sys/mman.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct ChunkedModel {
+  std::uint64_t fingerprint() const { return 0; }
+};
+
+ChunkedModel load_checkpoint(const std::string& path);
+
+std::uint64_t verified_fingerprint(const std::string& path) {
+  const ChunkedModel model = load_checkpoint(path);
+  return model.fingerprint();
+}
+
+void drop_mapping(void* addr, std::size_t bytes) {
+  // gdp-lint: allow(raw-mmap) — fixture: paired teardown of a mapping whose
+  // bytes were fingerprint-verified on load; the owner calls exactly once.
+  ::munmap(addr, bytes);
+}
+
+}  // namespace fixture

@@ -279,6 +279,26 @@ TEST(KeyCodec, RefusesOutOfContractFields) {
   EXPECT_THROW(KeyCodec().decode(PackedKey(1)), PreconditionError);
 }
 
+TEST(KeyCodec, RefusesNumberingRangeBeyond16Bits) {
+  // nr_max_ is 16-bit storage: an effective m > 65535 would truncate,
+  // shrink nr_bits_, and intern DISTINCT states as one key (silent
+  // collisions). Building a codec for such a configuration must refuse —
+  // both effective_m's own range guard and the codec's defense-in-depth
+  // check throw, and either way the layout is never constructed.
+  const auto t = graph::classic_ring(3);
+  algos::AlgoConfig config;
+  config.m = 70'000;  // > 0xffff, >= num_forks so validate() accepts it
+  const auto gdp1 = algos::make_algorithm("gdp1", config);
+  EXPECT_THROW(KeyCodec(*gdp1, t), PreconditionError);
+
+  // The boundary value still fits: 0xffff must stay representable.
+  algos::AlgoConfig edge;
+  edge.m = 0xffff;
+  const auto gdp1_edge = algos::make_algorithm("gdp1", edge);
+  const KeyCodec codec_edge(*gdp1_edge, t);
+  EXPECT_EQ(codec_edge.nr_bits(), 16u);
+}
+
 TEST(PackedKey, ValueSemanticsAcrossTheHeapBoundary) {
   // Inline (1 word) and heap (> kInlineWords) keys: copy, move, equality.
   PackedKey small(1);

@@ -49,6 +49,44 @@ TEST(Explore, TruncationFlagsFrontier) {
   EXPECT_TRUE(has_frontier);
 }
 
+TEST(Explore, CapAppliesAtLevelBoundaries) {
+  // Level-synchronous truncation: a capped run never stops mid-level, so
+  // the capped model has at least `cap` states, every expanded state has
+  // full rows, and the unexpanded frontier is the contiguous id tail.
+  const std::size_t cap = 500;
+  const Model m = explore_named("lr1", graph::fig1a(), cap);
+  ASSERT_TRUE(m.truncated());
+  EXPECT_GE(m.num_states(), cap);
+  StateId first_frontier = static_cast<StateId>(m.num_states());
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    if (m.frontier(s)) {
+      first_frontier = s;
+      break;
+    }
+  }
+  ASSERT_LT(first_frontier, m.num_states());
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    EXPECT_EQ(m.frontier(s), s >= first_frontier) << "state " << s;
+    for (int p = 0; p < m.num_phils(); ++p) {
+      const auto [begin, end] = m.row(s, p);
+      EXPECT_EQ(begin == end, s >= first_frontier) << "row (" << s << ", " << p << ")";
+    }
+  }
+}
+
+TEST(Explore, RefusesMoreThan64Philosophers) {
+  // eater_mask/target_mask are single 64-bit words; star(65) has 65
+  // philosophers (one per leaf), so exploration must refuse instead of
+  // silently folding philosopher 64 onto bit 63.
+  const auto algo = algos::make_algorithm("lr1");
+  EXPECT_THROW(explore(*algo, graph::star(65)), PreconditionError);
+}
+
+TEST(Explore, ModelBuildRefusesMoreThan64Philosophers) {
+  EXPECT_THROW(Model::build(65, std::vector<std::uint64_t>(66, 0), {}, {0}, {true}, true),
+               PreconditionError);
+}
+
 TEST(Explore, RequiresHungryMode) {
   const auto algo = algos::make_algorithm(
       "lr1", algos::AlgoConfig{.think = algos::ThinkMode::kCoin, .think_coin = 0.5});

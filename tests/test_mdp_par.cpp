@@ -170,18 +170,60 @@ TEST(ParExplore, Lr1Fig1aVerdictFails) {
   expect_results_identical(seq, par_r);
 }
 
-// Truncated exploration: the cap semantics are order-dependent, so the
-// parallel explorer detects the cap and replays the sequential BFS over
-// its recorded expansions (stepping the algorithm only for states the
-// parallel phase never reached) — the models stay bit-identical even
-// then, including the frontier flags and the truncated() bit.
-TEST(ParExplore, TruncationReplayBitIdentical) {
+// Truncated exploration: the cap applies at BFS level boundaries, so a
+// capped model is a pure function of (algorithm, topology, cap) — both
+// explorers run the same level-synchronous engine and stay bit-identical,
+// including the frontier flags and the truncated() bit, with no sequential
+// fallback anywhere.
+TEST(ParExplore, CappedLevelSyncBitIdentical) {
   expect_par_equals_seq("lr1", graph::fig1a(), 500);
 }
-TEST(ParExplore, TruncationReplayMidBfs) {
+TEST(ParExplore, CappedLevelSyncMidBfs) {
   expect_par_equals_seq("gdp1", graph::classic_ring(3), 5'000);
   expect_par_equals_seq("ticket", graph::fig1a(), 2'000);
   expect_par_equals_seq("lr2", graph::parallel_arcs(3), 9'999);
+}
+
+// The exact capped state counts, pinned as literals: the historical
+// explorer checked the cap only at its loop top, so a single expansion
+// could overshoot max_states by up to n * branches states and the capped
+// count depended on traversal order. Level-synchronous truncation stops at
+// a level boundary instead — the count may exceed the cap by at most one
+// level's discoveries, every state below num_expanded is fully expanded,
+// the frontier is exactly the id tail, and mdp::explore and par::explore
+// agree on the number at every thread count.
+TEST(ParExplore, CappedStateCountsPinnedAcrossPaths) {
+  struct Case {
+    const char* algo;
+    graph::Topology t;
+    std::size_t cap;
+    std::size_t states;    // total states in the capped model
+    std::size_t expanded;  // states with materialized rows (the id prefix)
+  };
+  const Case cases[] = {{"lr1", graph::fig1a(), 500, 1'065, 393},
+                        {"gdp1", graph::classic_ring(3), 5'000, 5'815, 4'249},
+                        {"lr2", graph::parallel_arcs(3), 9'999, 10'520, 9'242}};
+  const int hw = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  for (const Case& c : cases) {
+    SCOPED_TRACE(std::string(c.algo) + " on " + c.t.name() + " cap " + std::to_string(c.cap));
+    const auto algo = algos::make_algorithm(c.algo);
+    const Model seq = explore(*algo, c.t, c.cap);
+    ASSERT_TRUE(seq.truncated());
+    EXPECT_GE(seq.num_states(), c.cap);  // the cap is a floor for truncation, never mid-level
+    EXPECT_EQ(seq.num_states(), c.states);
+    // The unexpanded frontier is the contiguous id tail.
+    for (StateId s = 0; s < seq.num_states(); ++s) {
+      ASSERT_EQ(seq.frontier(s), s >= c.expanded) << "state " << s;
+    }
+    for (const int threads : {1, 2, hw}) {
+      par::CheckOptions opts;
+      opts.threads = threads;
+      opts.max_states = c.cap;
+      const Model par_model = par::explore(*algo, c.t, opts);
+      EXPECT_EQ(par_model.num_states(), c.states) << "threads=" << threads;
+      expect_models_bit_identical(seq, par_model, threads);
+    }
+  }
 }
 
 // --- Epilogue pins: the renumbering/assembly and reachable-state sweeps

@@ -49,6 +49,14 @@ src/ tests/ bench/ examples/ by the `static-analysis` CI job and
                       GDP_DCHECK compiles to an unevaluated sizeof in
                       release builds, so a side effect in the condition
                       makes debug and release behave differently.
+  raw-mmap            No raw mmap/munmap/mremap/msync/madvise calls. Memory
+                      mapping is I/O with failure modes (SIGBUS on a
+                      truncated file, silent partial syncs) that bypass the
+                      repo's refusal-over-wrong-answer contract unless the
+                      mapping is fingerprint-verified. gdp/mdp/store/ is the
+                      one blessed I/O site: its call sites are expected and
+                      carry allow() suppressions stating the ownership story;
+                      anywhere else, go through gdp::mdp::store instead.
 
 Suppressions are per-rule and inline:
 
@@ -90,6 +98,7 @@ RULES = (
     "fp-parallel-accumulation",
     "unannotated-mutex",
     "check-side-effects",
+    "raw-mmap",
 )
 
 
@@ -455,6 +464,31 @@ def rule_check_side_effects(path: str, code: str) -> list[Finding]:
     return found
 
 
+RAW_MMAP_RE = re.compile(r"(?:\B::\s*|\b)(?:mmap|munmap|mremap|msync|madvise)\s*\(")
+# The blessed I/O site: raw-mmap findings here are expected and must carry
+# an inline allow() justifying the mapping's ownership/teardown story.
+MMAP_BLESSED = "gdp/mdp/store/"
+
+
+def rule_raw_mmap(path: str, code_lines: list[str]) -> list[Finding]:
+    norm = path.replace("\\", "/")
+    blessed = MMAP_BLESSED in norm
+    found = []
+    for idx, line in enumerate(code_lines, start=1):
+        if RAW_MMAP_RE.search(line):
+            if blessed:
+                msg = ("mmap-family call in the store (the blessed I/O site): still "
+                       "suppress with a justification stating who owns the mapping "
+                       "and how it is verified/unmapped")
+            else:
+                msg = ("raw mmap-family call outside gdp/mdp/store/: memory-mapped "
+                       "I/O without fingerprint verification can return silently "
+                       "corrupt bytes — go through gdp::mdp::store, or suppress "
+                       "with a justification")
+            found.append(Finding(path, idx, "raw-mmap", msg))
+    return found
+
+
 # ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
@@ -476,6 +510,7 @@ def lint_file(path: pathlib.Path, in_src: bool | None = None) -> list[Finding]:
     findings += rule_fp_parallel_accumulation(str(path), code)
     findings += rule_unannotated_mutex(str(path), code, in_src)
     findings += rule_check_side_effects(str(path), code)
+    findings += rule_raw_mmap(str(path), code_lines)
 
     allowed = suppressions(raw_lines, code_lines)
     bad_suppressions = [
