@@ -25,6 +25,7 @@
 using namespace gdp;
 
 int main() {
+  bench::enable_obs();
   bench::banner("E9: the introduction's baselines",
                 "section 1's four non-symmetric / non-distributed solutions",
                 "ticket deadlocks off the ring; colored only fits even rings; GDP everywhere");
@@ -69,5 +70,6 @@ int main() {
     table.add_rule();
   }
   table.print();
+  bench::write_bench_report("baselines");
   return 0;
 }

@@ -19,6 +19,7 @@
 using namespace gdp;
 
 int main() {
+  bench::enable_obs();
   bench::banner("E1: Figure 1 topologies",
                 "Figure 1 (four example generalized dining-philosopher systems)",
                 "GDP1/GDP2 make progress and feed everyone on all four systems");
@@ -58,5 +59,6 @@ int main() {
   table.print();
   std::printf("\nNote: LR1/LR2 progress here because the scheduler is benign; their\n"
               "generalized-topology failures require the adversaries of E2-E5.\n");
+  bench::write_bench_report("fig1_topologies");
   return 0;
 }

@@ -67,6 +67,7 @@ std::vector<RowFold> run_grid(std::size_t rows, const TopologyOf& topology_of,
 }  // namespace
 
 int main() {
+  bench::enable_obs();
   bench::banner("E11: hypergraph extension (GDP-H)",
                 "section 6 future work (d-fork philosophers)",
                 "progress everywhere; throughput decreases with arity d");
@@ -120,5 +121,6 @@ int main() {
                         f.deadlock ? "DEADLOCK" : "none"});
   }
   rand_table.print();
+  bench::write_bench_report("hypergraph");
   return 0;
 }

@@ -22,6 +22,7 @@
 using namespace gdp;
 
 int main() {
+  bench::enable_obs();
   bench::banner("E7: lockout-freedom under the §5 adversary",
                 "section 5 (GDP1 not lockout-free) + Theorem 4 (GDP2 is)",
                 "victim hunger: gdp1 >> gdp2c; both keep global progress");
@@ -57,5 +58,6 @@ int main() {
   std::printf("Expected reading: gdp1's victim hunger approaches the full run length\n"
               "(starved); gdp2c bounds it via Cond on every take. The literal gdp2 sits\n"
               "in between (the Table 4 erratum: courtesy only on the first take).\n");
+  bench::write_bench_report("lockout");
   return 0;
 }

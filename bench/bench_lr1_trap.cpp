@@ -42,6 +42,7 @@ exp::SchedulerSpec trap_with_budget(int stubborn_base) {
 }  // namespace
 
 int main() {
+  bench::enable_obs();
   bench::banner("E2: the LR1 trap on fig1a (States 1-6)",
                 "section 3 inline example + the 1/4 probability bound",
                 "P(no-progress) >= 1/4; trapped runs rotate forever; LR2 equally trapped");
@@ -89,5 +90,6 @@ int main() {
     std::printf("  gdp1 meals in 50k steps: %llu (Theorem 3: progress cannot be stopped)\n",
                 static_cast<unsigned long long>(r.total_meals));
   }
+  bench::write_bench_report("lr1_trap");
   return 0;
 }

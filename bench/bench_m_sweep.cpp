@@ -38,6 +38,7 @@ std::string first_meal_cell(const exp::CellAggregate& c) {
 }  // namespace
 
 int main() {
+  bench::enable_obs();
   bench::banner("E10: efficiency (the paper's open question)",
                 "section 6 ('evaluation of the complexity ... open topics')",
                 "m ~ k suffices; courtesy costs throughput but bounds hunger");
@@ -83,5 +84,6 @@ int main() {
                 format_double(c.meals().mean() / n, 1), first_meal_cell(c)});
   }
   sc.print();
+  bench::write_bench_report("m_sweep");
   return 0;
 }

@@ -32,6 +32,7 @@ double finite_product(double p, int m) {
 }  // namespace
 
 int main() {
+  bench::enable_obs();
   bench::banner("E8: the product bound of the fairness repair",
                 "section 3: prod(1 - p^k) >= 1 - p - p^2 (and >= 1/4 for p <= 1/2)",
                 "all inequalities hold numerically; bound tightens as p -> 1/2");
@@ -80,5 +81,6 @@ int main() {
               (1.0 - 0.5 - 0.25 >= 0.25 - 1e-12) ? "yes" : "NO");
   std::printf("Overall adversary success bound (1/4)*prod >= %.4f (paper: >= 1/16)\n",
               0.25 * finite_product(0.5, 1'000'000));
+  bench::write_bench_report("product_bound");
   return 0;
 }

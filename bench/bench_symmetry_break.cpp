@@ -56,6 +56,7 @@ std::uint64_t steps_to_distinct(int ring, int m, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::enable_obs();
   bench::banner("E6: symmetry-breaking probability",
                 "Theorem 3's bound p >= m!/(m^k (m-k)!)",
                 "sampled all-distinct frequency matches the closed form; positive for m >= k");
@@ -123,5 +124,6 @@ int main() {
   }
   conv.print();
   std::printf("\nExpected: larger m (fewer collisions) never slows convergence.\n");
+  bench::write_bench_report("symmetry_break");
   return 0;
 }

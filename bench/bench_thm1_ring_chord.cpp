@@ -31,6 +31,7 @@ std::uint64_t ring_mask(int k) { return (std::uint64_t{1} << k) - 1; }
 }  // namespace
 
 int main() {
+  bench::enable_obs();
   bench::banner("E3: Theorem 1 (ring + extra arc vs LR1)",
                 "Theorem 1 and Figure 2",
                 "LR1 loses progress wrt H exactly when the premise holds; GDP1 keeps global progress");
@@ -90,5 +91,6 @@ int main() {
                    lr1 * 2 < gdp1 ? "strongly" : (lr1 < gdp1 ? "somewhat" : "no")});
   }
   meals.print();
+  bench::write_bench_report("thm1_ring_chord");
   return 0;
 }

@@ -31,11 +31,17 @@ using namespace gdp;
 int main(int argc, char** argv) {
   // Model-checker worker threads (0 = hardware concurrency); lets the
   // speedup of the parallel engine be measured: ./bench_thm2_theta 1 vs N.
+  // The optional second argument picks sections, e.g. "d" runs only the
+  // store-spill exploration (what `ci.sh bench-smoke` exercises).
   const int threads = argc > 1 ? std::atoi(argv[1]) : 0;
-  if (threads < 0) {
-    std::fprintf(stderr, "usage: %s [threads >= 0, 0 = hardware]\n", argv[0]);
+  const std::string sections = argc > 2 ? argv[2] : "abcd";
+  if (threads < 0 || sections.find_first_not_of("abcd") != std::string::npos) {
+    std::fprintf(stderr, "usage: %s [threads >= 0, 0 = hardware] [sections from {a,b,c,d}]\n",
+                 argv[0]);
     return 1;
   }
+  const auto want = [&](char s) { return sections.find(s) != std::string::npos; };
+  bench::enable_obs();
 
   bench::banner("E4: Theorem 2 (theta graphs vs LR2)",
                 "Theorem 2 and Figure 3",
@@ -44,6 +50,7 @@ int main(int argc, char** argv) {
   opts.threads = threads;
   opts.max_states = 3'000'000;
 
+  if (want('a')) {
   std::printf("(a) model-checked verdicts + quantitative bounds (gdp::mdp::par + gdp::mdp::quant,\n"
               "    threads=%d [0=hw]):\n", threads);
   stats::Table verdicts({"topology", "thm2 premise", "lr2 verdict", "lr2 Pmin", "lr2 E[max]",
@@ -51,7 +58,7 @@ int main(int argc, char** argv) {
   const graph::Topology cases[] = {graph::classic_ring(3), graph::ring_with_pendant(3),
                                    graph::parallel_arcs(3), graph::parallel_arcs(4),
                                    graph::theta(1, 1, 2)};
-  const bench::Stopwatch model_check_clock;
+  obs::Span model_check_span("bench.thm2_verdicts");
   for (const auto& t : cases) {
     const bool premise = graph::thm2_premise(t).has_value();
     auto verdict_str = [](const mdp::FairProgressResult& r) {
@@ -81,7 +88,9 @@ int main(int argc, char** argv) {
       row.push_back(verdict_str(verdict));
       row.push_back(model.truncated() ? "unknown" : prob_str(q.p_min));
       row.push_back(model.truncated() ? "unknown" : time_str(q.e_max));
-      // Machine-readable quantitative verdicts for BENCH json tracking.
+      // Machine-readable quantitative verdicts, kept for one release while
+      // the CI tracking harness migrates to BENCH_thm2_theta.json (the
+      // registry report carries quant.* counters and this span).
       std::printf("  BENCH quant model=%s/%s threads=%d states=%zu certainty=%s "
                   "pmin=[%.9f,%.9f] pmax=[%.9f,%.9f] ptrap=[%.9f,%.9f] "
                   "emin=[%g,%g] emax=[%g,%g] sweeps=%zu\n",
@@ -93,8 +102,11 @@ int main(int argc, char** argv) {
     verdicts.add_row(row);
   }
   verdicts.print();
-  std::printf("  model-check + quant phase wall time: %.2fs\n", model_check_clock.seconds());
+  model_check_span.stop();
+  std::printf("  model-check + quant phase wall time: %.2fs\n", model_check_span.seconds());
+  }
 
+  if (want('b')) {
   std::printf("\n(b) packed state keys (gdp::mdp::KeyCodec): intern-table + frontier memory:\n");
   stats::Table keys({"model", "states", "B/state packed", "B/state legacy", "ratio",
                      "peak intern key bytes", "frontier B/item", "was (SimState)"});
@@ -152,7 +164,9 @@ int main(int argc, char** argv) {
                 index.size() * packed, frontier_item, frontier_was);
   }
   keys.print();
+  }
 
+  if (want('c')) {
   std::printf("\n(c) the fig1a trap (nobody eats => Cond vacuous) against LR2:\n");
   constexpr int kTrials = 300;
   exp::CampaignSpec spec;
@@ -171,31 +185,22 @@ int main(int argc, char** argv) {
   std::printf("  LR2 trapped: %llu/%d (%.3f), Wilson 95%% [%.3f, %.3f] — paper bound: positive\n",
               static_cast<unsigned long long>(trapped), kTrials,
               static_cast<double>(trapped) / kTrials, ci.low, ci.high);
+  }
 
   // (d) Capped level-synchronous exploration straight into the chunked
   // store, spill on: a Theorem-2-premise instance far past the in-RAM
   // comfort zone (gdp2 on ring_with_chord(4) runs to ~6M states uncapped)
-  // explored to checkpoint-sized caps. Machine-readable copy lands in
-  // BENCH_explore.json for the CI tracking harness.
-  std::printf("\n(d) capped exploration into gdp::mdp::store, spill on (gdp2 on %s):\n",
-              graph::ring_with_chord(4).name().c_str());
-  {
+  // explored to checkpoint-sized caps. The machine-readable copy is the
+  // registry report (BENCH_thm2_theta.json: explore.* / store.* counters and
+  // the bench.explore_store span); the printf BENCH lines stay one release.
+  std::vector<std::pair<std::string, std::string>> meta = {
+      {"threads", std::to_string(threads)}, {"sections", sections}};
+  if (want('d')) {
+    std::printf("\n(d) capped exploration into gdp::mdp::store, spill on (gdp2 on %s):\n",
+                graph::ring_with_chord(4).name().c_str());
     const auto algo = algos::make_algorithm("gdp2");
     const auto t = graph::ring_with_chord(4);
     const std::string spill_dir = "bench_thm2_spill";
-    std::FILE* json = std::fopen("BENCH_explore.json", "w");
-    if (json == nullptr) {
-      std::fprintf(stderr, "cannot open BENCH_explore.json for writing\n");
-      return 1;
-    }
-    std::fprintf(json,
-                 "{\n"
-                 "  \"bench\": \"explore_store\",\n"
-                 "  \"algo\": \"gdp2\",\n"
-                 "  \"topology\": \"%s\",\n"
-                 "  \"threads\": %d,\n"
-                 "  \"runs\": [\n",
-                 t.name().c_str(), threads);
     stats::Table table({"cap", "states", "states/s", "peak RSS MB", "spill MB"});
     const std::size_t caps[] = {100'000, 1'000'000};
     for (std::size_t i = 0; i < std::size(caps); ++i) {
@@ -205,15 +210,17 @@ int main(int argc, char** argv) {
       mdp::store::StoreOptions sopts;
       sopts.spill = true;
       sopts.dir = spill_dir;
-      const bench::Stopwatch clock;
+      obs::Span run_span("bench.explore_store");
       const auto chunked = mdp::store::explore(*algo, t, sopts, copts);
-      const double seconds = clock.seconds();
+      run_span.stop();
+      const double seconds = run_span.seconds();
       // ru_maxrss is KiB on Linux and a process-wide high-water mark
       // (monotone across the caps), not a per-run delta.
       struct rusage usage {};
       ::getrusage(RUSAGE_SELF, &usage);
       const std::size_t peak_rss = static_cast<std::size_t>(usage.ru_maxrss) * 1024;
-      const double rate = static_cast<double>(chunked.num_states()) / seconds;
+      const double rate =
+          seconds > 0.0 ? static_cast<double>(chunked.num_states()) / seconds : 0.0;
       char rate_s[32], rss_s[32], spill_s[32];
       std::snprintf(rate_s, sizeof rate_s, "%.0f", rate);
       std::snprintf(rss_s, sizeof rss_s, "%.1f", peak_rss / (1024.0 * 1024.0));
@@ -227,21 +234,16 @@ int main(int argc, char** argv) {
                   t.name().c_str(), threads, caps[i], chunked.num_states(),
                   chunked.truncated() ? 1 : 0, rate, peak_rss, chunked.spilled_bytes(),
                   chunked.num_chunks());
-      std::fprintf(json,
-                   "    {\"cap\": %zu, \"states\": %zu, \"truncated\": %s,\n"
-                   "     \"seconds\": %.6f, \"states_per_sec\": %.1f,\n"
-                   "     \"peak_rss_bytes\": %zu, \"spill_bytes\": %zu,\n"
-                   "     \"resident_bytes\": %zu, \"chunks\": %zu}%s\n",
-                   caps[i], chunked.num_states(), chunked.truncated() ? "true" : "false",
-                   seconds, rate, peak_rss, chunked.spilled_bytes(), chunked.resident_bytes(),
-                   chunked.num_chunks(), i + 1 < std::size(caps) ? "," : "");
+      const std::string cap_tag = "cap_" + std::to_string(caps[i]);
+      meta.emplace_back(cap_tag + "_states", std::to_string(chunked.num_states()));
+      meta.emplace_back(cap_tag + "_spill_bytes", std::to_string(chunked.spilled_bytes()));
+      meta.emplace_back(cap_tag + "_peak_rss_bytes", std::to_string(peak_rss));
     }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
     table.print();
-    std::printf("  wrote BENCH_explore.json\n");
     std::error_code ec;
     std::filesystem::remove_all(spill_dir, ec);  // the spilled chunks served their purpose
   }
+
+  bench::write_bench_report("thm2_theta", meta);
   return 0;
 }

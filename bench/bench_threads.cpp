@@ -16,6 +16,7 @@
 using namespace gdp;
 
 int main() {
+  bench::enable_obs();
   bench::banner("E12: thread runtime",
                 "substitution study (real concurrency; OS scheduling as adversary)",
                 "0 exclusion violations; courtesy trades throughput for fairness");
@@ -56,5 +57,6 @@ int main() {
                  bench::fmt_u64(r.exclusion_violations)});
   }
   hot.print();
+  bench::write_bench_report("threads");
   return 0;
 }

@@ -1,12 +1,15 @@
 // Shared helpers for the experiment harnesses.
 #pragma once
 
-#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gdp/algos/algorithm.hpp"
 #include "gdp/graph/topology.hpp"
+#include "gdp/obs/obs.hpp"
 #include "gdp/rng/rng.hpp"
 #include "gdp/sim/engine.hpp"
 #include "gdp/sim/schedulers/basic.hpp"
@@ -35,18 +38,27 @@ inline sim::RunResult fair_run(const std::string& algo_name, const graph::Topolo
 
 inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
 
-/// Wall-clock stopwatch for phase timings (speedup reporting).
-class Stopwatch {
- public:
-  // gdp-lint: allow(wall-clock) — timing-only; feeds speedup reports, never results
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-  double seconds() const {
-    // gdp-lint: allow(wall-clock) — timing-only; feeds speedup reports, never results
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
-  }
+/// Benches record metrics by default: recording costs nothing measurable
+/// against bench workloads and the run report replaces the hand-rolled
+/// BENCH lines. GDP_OBS=0 in the environment still opts out.
+inline void enable_obs() {
+  const char* v = std::getenv("GDP_OBS");
+  if (v != nullptr && v[0] == '0' && v[1] == '\0') return;
+  obs::set_enabled(true);
+}
 
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+/// Snapshots the obs registry into BENCH_<name>.json (the versioned
+/// obs::report_json schema) in the working directory and announces the
+/// path. Every bench main calls this once on exit. No-op when obs is off.
+inline void write_bench_report(const std::string& name,
+                               std::vector<std::pair<std::string, std::string>> meta = {}) {
+  if (!obs::enabled()) return;
+  const std::string path = "BENCH_" + name + ".json";
+  if (obs::write_report(path, name, meta)) {
+    std::printf("report: %s (gdp_obs_schema %d)\n", path.c_str(), obs::kReportSchema);
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+}
 
 }  // namespace gdp::bench

@@ -6,6 +6,10 @@
 #                                    Clang -Werror=thread-safety build when a
 #                                    clang++ is available (CI pins one; local
 #                                    GCC-only machines skip it with a notice).
+#        ./ci.sh bench-smoke       — build bench_thm2_theta, run its store
+#                                    section with GDP_OBS=1 and validate the
+#                                    emitted BENCH_thm2_theta.json against
+#                                    the obs run-report schema.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -38,6 +42,22 @@ if [[ "${1:-}" == "lint" ]]; then
   exit 0
 fi
 
+# Smoke-test the observability pipeline end to end: section (d) of
+# bench_thm2_theta (capped exploration into the chunked store) must emit a
+# run report that validates against the versioned schema.
+if [[ "${1:-}" == "bench-smoke" ]]; then
+  echo "=== bench-smoke: configure + build bench_thm2_theta ==="
+  cmake -B build/bench-smoke -S . -DCMAKE_BUILD_TYPE=Release -DGDP_BUILD_TESTS=OFF \
+    -DGDP_BUILD_EXAMPLES=OFF
+  cmake --build build/bench-smoke -j "${JOBS}" --target bench_thm2_theta
+  echo "=== bench-smoke: run section (d) with GDP_OBS=1 ==="
+  ( cd build/bench-smoke/bench && GDP_OBS=1 ./bench_thm2_theta 0 d )
+  echo "=== bench-smoke: validate the run report against the obs schema ==="
+  python3 tools/obs/validate_report.py build/bench-smoke/bench/BENCH_thm2_theta.json
+  echo "=== bench-smoke green ==="
+  exit 0
+fi
+
 SANITIZE=1
 [[ "${1:-}" == "--no-sanitize" ]] && SANITIZE=0
 
@@ -66,15 +86,18 @@ if [[ "${SANITIZE}" == 1 ]]; then
   echo "=== asan-ubsan: forced-spill chunked-store pass (ctest -L store) ==="
   GDP_TEST_FORCE_SPILL=1 ctest --test-dir build/asan-ubsan --output-on-failure -L store
 
-  # TSan pass over the threaded subsystems only (the parallel model checker
-  # and the campaign runner); ASan and TSan cannot share a build tree.
+  # TSan pass over the threaded subsystems only (the parallel model checker,
+  # the campaign runner and the obs registry); ASan and TSan cannot share a
+  # build tree.
   echo "=== tsan: configure ==="
   cmake -B build/tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGDP_SANITIZE_THREAD=ON \
     -DGDP_BUILD_BENCH=OFF -DGDP_BUILD_EXAMPLES=OFF
   echo "=== tsan: build ==="
-  cmake --build build/tsan -j "${JOBS}" --target test_mdp_par test_exp test_key test_quant test_store
-  echo "=== tsan: ctest (test_mdp_par + test_exp + test_key + test_quant + test_store) ==="
-  ctest --test-dir build/tsan --output-on-failure -R 'test_mdp_par|test_exp|test_key|test_quant|test_store'
+  cmake --build build/tsan -j "${JOBS}" \
+    --target test_mdp_par test_exp test_key test_quant test_store test_obs
+  echo "=== tsan: ctest (test_mdp_par + test_exp + test_key + test_quant + test_store + test_obs) ==="
+  ctest --test-dir build/tsan --output-on-failure \
+    -R 'test_mdp_par|test_exp|test_key|test_quant|test_store|test_obs'
 fi
 
 echo "=== CI green ==="

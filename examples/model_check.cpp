@@ -14,6 +14,7 @@
 #include "gdp/mdp/chain_analysis.hpp"
 #include "gdp/mdp/par/par.hpp"
 #include "gdp/mdp/quant/quant.hpp"
+#include "gdp/obs/obs.hpp"
 #include "gdp/sim/engine.hpp"
 
 using namespace gdp;
@@ -128,6 +129,18 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(sched.steps_inside()),
                   static_cast<unsigned long long>(r.total_meals));
       break;
+    }
+  }
+
+  // GDP_OBS=1 in the environment adds a run report; with obs off (the
+  // default, and what the golden-output CI diff runs) stdout is unchanged.
+  if (obs::enabled()) {
+    const std::string path = "BENCH_model_check.json";
+    if (obs::write_report(path, "model_check",
+                          {{"algorithm", algo_name}, {"topology", topo_name}})) {
+      std::printf("\nreport: %s (gdp_obs_schema %d)\n", path.c_str(), obs::kReportSchema);
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
     }
   }
   return 0;

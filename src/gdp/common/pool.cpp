@@ -8,6 +8,7 @@
 
 #include "gdp/common/check.hpp"
 #include "gdp/common/thread_annotations.hpp"
+#include "gdp/obs/obs.hpp"
 
 namespace gdp::common {
 
@@ -53,6 +54,17 @@ void parallel_for(std::size_t total, int threads, const std::function<void(std::
   if (total == 0) return;
   const unsigned n = effective_threads(threads, total);
 
+  // Timing plane, all three: steals depend on scheduling outright, and the
+  // call/task totals describe how work was *executed*, not what work was
+  // done — seq-vs-par dispatch (parallel_chunk_max, the MEC fallback) keys
+  // on the requested thread count, so these totals are not thread-count
+  // invariant. References resolved once; the registry never moves them.
+  static obs::Counter& calls =
+      obs::Registry::global().counter("pool.parallel_for_calls", obs::Plane::kTiming);
+  static obs::Counter& tasks = obs::Registry::global().counter("pool.tasks", obs::Plane::kTiming);
+  calls.increment();
+  tasks.add(total);
+
   if (n <= 1) {
     for (std::uint32_t id = 0; id < total; ++id) fn(id);
     return;
@@ -66,6 +78,8 @@ void parallel_for(std::size_t total, int threads, const std::function<void(std::
   }
 
   std::atomic<bool> abort{false};
+  static obs::Counter& steals =
+      obs::Registry::global().counter("pool.steals", obs::Plane::kTiming);
   run_workers(n, [&](unsigned me) {
     try {
       while (!abort.load(std::memory_order_relaxed)) {
@@ -87,6 +101,7 @@ void parallel_for(std::size_t total, int threads, const std::function<void(std::
         }
         if (victim == n) break;  // everything claimed everywhere
         if (const auto stolen = shards[victim].steal_half()) {
+          steals.increment();
           shards[me].reset(stolen->first, stolen->second);
         }
       }

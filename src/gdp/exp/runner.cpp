@@ -5,6 +5,7 @@
 #include "gdp/common/check.hpp"
 #include "gdp/common/pool.hpp"
 #include "gdp/exp/seeding.hpp"
+#include "gdp/obs/obs.hpp"
 #include "gdp/rng/rng.hpp"
 
 namespace gdp::exp {
@@ -44,6 +45,7 @@ Runner::Runner(RunnerOptions options) : options_(options) {
 
 CampaignResult Runner::run(const CampaignSpec& spec) const {
   validate(spec);
+  obs::Span span("exp.campaign");
 
   const std::vector<Cell> grid = cells(spec);
   const auto trials = static_cast<std::size_t>(spec.trials);
@@ -82,6 +84,14 @@ CampaignResult Runner::run(const CampaignSpec& spec) const {
     const int trial = static_cast<int>(id % trials);
     outcomes[id] = execute_trial(spec, plans[c], trial);
   });
+
+  // Deterministic plane: the grid shape is a pure function of the spec.
+  static obs::Counter& campaigns_ctr = obs::Registry::global().counter("exp.campaigns");
+  static obs::Counter& cells_ctr = obs::Registry::global().counter("exp.cells");
+  static obs::Counter& trials_ctr = obs::Registry::global().counter("exp.trials");
+  campaigns_ctr.increment();
+  cells_ctr.add(grid.size());
+  trials_ctr.add(total);
 
   // Single-threaded fold in global trial order: the determinism barrier.
   CampaignResult result;

@@ -2,6 +2,7 @@
 
 #include "gdp/common/check.hpp"
 #include "gdp/common/pool.hpp"
+#include "gdp/obs/obs.hpp"
 #include "gdp/sim/state.hpp"
 #include "gdp/sim/step.hpp"
 
@@ -90,6 +91,20 @@ void LevelExplorer::run(std::size_t max_states, int threads) {
   const std::size_t kw = codec_.key_words();
   truncated_ = false;
 
+  // Deterministic plane: levels, states, edges and the per-level size
+  // distribution are pure functions of (algorithm, topology, max_states) —
+  // the level structure never depends on the thread count. The run span is
+  // wall clock (timing plane).
+  static obs::Counter& levels_ctr = obs::Registry::global().counter("explore.levels");
+  static obs::Counter& states_ctr = obs::Registry::global().counter("explore.states");
+  static obs::Counter& edges_ctr = obs::Registry::global().counter("explore.edges");
+  static obs::Counter& truncations_ctr = obs::Registry::global().counter("explore.truncations");
+  static obs::Histogram& level_states = obs::Registry::global().histogram("explore.level_states");
+  static obs::Gauge& intern_bytes = obs::Registry::global().gauge("explore.intern_bytes_peak");
+  obs::Span run_span("explore.run");
+  const std::size_t edges_before = outcomes_.size();
+  const std::size_t states_before = num_expanded_;
+
   std::vector<Expansion> level;
   PackedKey scratch;
   while (num_expanded_ < keys_.size()) {
@@ -98,10 +113,12 @@ void LevelExplorer::run(std::size_t max_states, int threads) {
       // state is either fully expanded or untouched frontier, so the capped
       // model is a pure function of (algorithm, topology, max_states).
       truncated_ = true;
-      return;
+      truncations_ctr.increment();
+      break;
     }
     const std::size_t begin = num_expanded_;
     const std::size_t count = keys_.size() - begin;
+    obs::Span level_span("explore.level");
 
     // Parallel phase: expand each state of the level into its own buffer.
     // Workers read shared immutable state and write only their task's slot.
@@ -138,8 +155,15 @@ void LevelExplorer::run(std::size_t max_states, int threads) {
         row_ends_.push_back(outcomes_.size());
       }
     }
+    levels_ctr.increment();
+    level_states.record(count);
     num_expanded_ = begin + count;
   }
+
+  states_ctr.add(num_expanded_ - states_before);
+  edges_ctr.add(outcomes_.size() - edges_before);
+  // Interner footprint: id-ordered keys plus the hash index over them.
+  intern_bytes.set_max(keys_.size() * kw * sizeof(std::uint64_t) * 2);
 }
 
 Model LevelExplorer::take_model(StateIndex* index_out, std::vector<PackedKey>* keys_out) {

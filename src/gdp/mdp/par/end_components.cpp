@@ -27,11 +27,38 @@
 #include "gdp/common/pool.hpp"
 #include "gdp/common/thread_annotations.hpp"
 #include "gdp/mdp/par/par.hpp"
+#include "gdp/obs/obs.hpp"
 
 namespace gdp::mdp::par {
 namespace {
 
 constexpr std::int64_t kRemoved = -1;
+
+/// Timing-plane counters for the FW-BW machinery. Given the parallel path,
+/// how each region is processed (trim, pivot = smallest-index member, split
+/// or Tarjan) is a pure function of the region's states and the
+/// usable-action graph — but the seq-vs-par dispatch itself keys on the
+/// requested worker count, and the sequential fallback (workers <= 1 or a
+/// small candidate set) performs none of this work and records zeros. The
+/// totals therefore describe how the decomposition was *executed*, not what
+/// was decomposed, and are not thread-count invariant: timing plane, like
+/// the pool counters.
+struct MecCounters {
+  obs::Counter& splits =
+      obs::Registry::global().counter("mec.fwbw_splits", obs::Plane::kTiming);
+  obs::Counter& trimmed =
+      obs::Registry::global().counter("mec.trimmed_states", obs::Plane::kTiming);
+  obs::Counter& tarjan_regions =
+      obs::Registry::global().counter("mec.tarjan_regions", obs::Plane::kTiming);
+  obs::Counter& tarjan_escapes =
+      obs::Registry::global().counter("mec.tarjan_escapes", obs::Plane::kTiming);
+  obs::Counter& rounds =
+      obs::Registry::global().counter("mec.refinement_rounds", obs::Plane::kTiming);
+  static MecCounters& get() {
+    static MecCounters instance;
+    return instance;
+  }
+};
 
 /// Compressed adjacency over the states of the model (off has n+1 entries).
 struct Csr {
@@ -298,12 +325,20 @@ class ParallelScc {
   }
 
   void process(Region r) {
+    MecCounters& ctr = MecCounters::get();
+    const std::size_t before_trim = r.states.size();
     trim(r);
+    ctr.trimmed.add(before_trim - r.states.size());
     if (r.states.empty()) return;
     if (r.states.size() <= options_.seq_scc_region || r.ineffective_splits >= 2) {
+      ctr.tarjan_regions.increment();
+      // An escape is a region *above* the size threshold bailed to Tarjan
+      // because FW-BW stopped making progress on it.
+      if (r.states.size() > options_.seq_scc_region) ctr.tarjan_escapes.increment();
       tarjan(r);
       return;
     }
+    ctr.splits.increment();
     const std::uint32_t token = r.token;
     const StateId pivot = r.states.front();
     sweep(fwd_, pivot, token, fw_mark_);
@@ -457,6 +492,7 @@ std::vector<EndComponent> maximal_end_components(const Model& model, std::uint64
   if (workers <= 1 || candidates < options.seq_mec_threshold) {
     return mdp::maximal_end_components(model, avoid_set);
   }
+  obs::Span span("mec.decompose");
 
   // Refinement fixpoint, as in the sequential decomposition: SCC-split the
   // partition, drop states with no action closed inside their own block,
@@ -465,6 +501,7 @@ std::vector<EndComponent> maximal_end_components(const Model& model, std::uint64
   std::vector<std::int64_t> refined(n, kRemoved);
   std::vector<std::uint8_t> keep(n, 0);
   while (true) {
+    MecCounters::get().rounds.increment();
     ParallelScc scc(model, component, options, options.threads);
     scc.run(refined);
 

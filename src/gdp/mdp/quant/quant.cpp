@@ -35,6 +35,7 @@
 
 #include "gdp/common/check.hpp"
 #include "gdp/common/pool.hpp"
+#include "gdp/obs/obs.hpp"
 
 namespace gdp::mdp::quant {
 namespace {
@@ -617,6 +618,7 @@ SharedSweeps make_shared_sweeps(const Model& model, const par::CheckOptions& co)
 /// most one full MEC decomposition between them.
 QuantResult analyze_one(const Model& model, std::uint64_t target_set,
                         const QuantOptions& options, SharedSweeps& shared) {
+  obs::Span span("quant.analyze");
   QuantResult result;
   result.target_set = target_set;
   result.num_states = model.num_states();
@@ -653,6 +655,14 @@ QuantResult analyze_one(const Model& model, std::uint64_t target_set,
   const bool initial_unknown = fq.initial == kUnknown || fq.initial == kAbsent;
 
   bool all_converged = true;
+  // One phase's bookkeeping: per-phase sweep slot, the running total, and
+  // the stall count (a phase that ran but ended uncertified).
+  auto note = [&](std::size_t& slot, const Phase& phase) {
+    slot = phase.sweeps;
+    result.sweeps += phase.sweeps;
+    all_converged = all_converged && phase.converged;
+    if (!phase.converged) ++result.stats.stalled_phases;
+  };
   std::vector<double> lo, hi;
   std::vector<double> hi_pmax;  // per-node Pmax upper bounds, kept for e_min
 
@@ -665,8 +675,7 @@ QuantResult analyze_one(const Model& model, std::uint64_t target_set,
   } else {
     const std::vector<double> no_pins(fq.num_nodes, -1.0);
     const Phase phase = iterate_reach_max(fq, no_pins, /*goal_value=*/1.0, options, lo, hi_pmax);
-    result.sweeps += phase.sweeps;
-    all_converged = all_converged && phase.converged;
+    note(result.stats.p_max_sweeps, phase);
     result.p_max = make_interval(lo[fq.initial], hi_pmax[fq.initial]);
   }
 
@@ -685,8 +694,7 @@ QuantResult analyze_one(const Model& model, std::uint64_t target_set,
     }
     // Reaching a meal first escapes the trap for good: kGoal counts 0.
     const Phase phase = iterate_reach_max(fq, pins, /*goal_value=*/0.0, options, lo, hi);
-    result.sweeps += phase.sweeps;
-    all_converged = all_converged && phase.converged;
+    note(result.stats.p_min_sweeps, phase);
     result.p_min = make_interval(1.0 - hi[fq.initial], 1.0 - lo[fq.initial]);
   }
 
@@ -711,8 +719,7 @@ QuantResult analyze_one(const Model& model, std::uint64_t target_set,
       }
     }
     const Phase phase = iterate_time_min(model, target_set, domain, bad, options, lo, hi);
-    result.sweeps += phase.sweeps;
-    all_converged = all_converged && phase.converged;
+    note(result.stats.e_min_sweeps, phase);
     result.e_min = make_interval(lo[model.initial()], hi[model.initial()]);
   }
 
@@ -728,8 +735,7 @@ QuantResult analyze_one(const Model& model, std::uint64_t target_set,
     result.e_max = {kInf, kInf};
   } else {
     const Phase phase = iterate_time_max(fq, node_reach, complete, options, lo, hi);
-    result.sweeps += phase.sweeps;
-    all_converged = all_converged && phase.converged;
+    note(result.stats.e_max_sweeps, phase);
     result.e_max = make_interval(lo[fq.initial], hi[fq.initial]);
   }
 
@@ -754,8 +760,7 @@ QuantResult analyze_one(const Model& model, std::uint64_t target_set,
       all_converged = false;
     } else {
       const Phase phase = iterate_reach_max(full_q, pins, /*goal_value=*/0.0, options, lo, hi);
-      result.sweeps += phase.sweeps;
-      all_converged = all_converged && phase.converged;
+      note(result.stats.p_trap_sweeps, phase);
       result.p_trap = make_interval(lo[full_q.initial], hi[full_q.initial]);
     }
   }
@@ -763,6 +768,17 @@ QuantResult analyze_one(const Model& model, std::uint64_t target_set,
   result.certainty = !complete           ? Certainty::kTruncated
                      : all_converged     ? Certainty::kCertified
                                          : Certainty::kIterationLimit;
+
+  // Deterministic plane: sweep counts stop on thresholds of bit-identical
+  // parallel_chunk_max residuals, so they are thread-count invariant.
+  static obs::Counter& analyses = obs::Registry::global().counter("quant.analyses");
+  static obs::Counter& sweeps_ctr = obs::Registry::global().counter("quant.sweeps");
+  static obs::Counter& stalls_ctr = obs::Registry::global().counter("quant.stalled_phases");
+  static obs::Histogram& sweeps_hist = obs::Registry::global().histogram("quant.analysis_sweeps");
+  analyses.increment();
+  sweeps_ctr.add(result.sweeps);
+  stalls_ctr.add(result.stats.stalled_phases);
+  sweeps_hist.record(result.sweeps);
   return result;
 }
 

@@ -136,6 +136,21 @@ struct QuantOptions {
   }
 };
 
+/// Per-phase iteration accounting for one analyze() call. Sweep counts are
+/// deterministic (bit-identical at every thread count): each phase stops on
+/// thresholds of residuals computed by the deterministic parallel_chunk_max
+/// reduction. A "stalled" phase ran but ended without certifying — the
+/// width float-locked, frontier mass kept it open, or max_iterations hit.
+/// Exported through the obs registry as quant.sweeps_* / quant.stalled_phases.
+struct AnalyzeStats {
+  std::size_t p_max_sweeps = 0;
+  std::size_t p_min_sweeps = 0;
+  std::size_t e_min_sweeps = 0;
+  std::size_t e_max_sweeps = 0;
+  std::size_t p_trap_sweeps = 0;
+  std::size_t stalled_phases = 0;
+};
+
 struct QuantResult {
   std::uint64_t target_set = ~std::uint64_t{0};
   std::size_t num_states = 0;
@@ -159,7 +174,8 @@ struct QuantResult {
   Interval e_max;
 
   Certainty certainty = Certainty::kIterationLimit;
-  std::size_t sweeps = 0;   // Bellman sweeps across all phases
+  std::size_t sweeps = 0;   // Bellman sweeps across all phases (= stats total)
+  AnalyzeStats stats;       // per-phase sweep/stall breakdown
   double epsilon = 1e-6;    // the width both bounds converged to
 
   /// Quantitative progress certificate: p_min pinned to 1 on a complete

@@ -13,10 +13,29 @@
 
 #include "gdp/common/check.hpp"
 #include "gdp/mdp/level_explore.hpp"
+#include "gdp/obs/obs.hpp"
 
 namespace gdp::mdp::store {
 
 namespace {
+
+/// Deterministic-plane store counters: chunk shape is a pure function of
+/// (model, chunk_states) and spill/checkpoint traffic of the call sequence,
+/// never of scheduling. I/O wall time goes to spans (timing plane).
+struct StoreCounters {
+  obs::Counter& chunks_written = obs::Registry::global().counter("store.chunks_written");
+  obs::Counter& chunk_bytes = obs::Registry::global().counter("store.chunk_bytes");
+  obs::Counter& chunks_spilled = obs::Registry::global().counter("store.chunks_spilled");
+  obs::Counter& spill_bytes = obs::Registry::global().counter("store.spill_bytes");
+  obs::Counter& chunks_loaded = obs::Registry::global().counter("store.chunks_loaded");
+  obs::Counter& fingerprint_checks =
+      obs::Registry::global().counter("store.fingerprint_verifications");
+  obs::Counter& materializations = obs::Registry::global().counter("store.materializations");
+  static StoreCounters& get() {
+    static StoreCounters instance;
+    return instance;
+  }
+};
 
 // Chunk payloads round-trip Outcome structs through 64-bit words (bit_cast
 // on write, pointer view on read); both directions need this exact shape.
@@ -270,6 +289,8 @@ ChunkedModel ChunkedModel::from_model(const Model& model, const KeyCodec& codec,
       payload.insert(payload.end(), w, w + kw);
     }
 
+    StoreCounters::get().chunks_written.increment();
+    StoreCounters::get().chunk_bytes.add(payload.size() * sizeof(std::uint64_t));
     out.chunks_.push_back(Chunk::own(std::move(payload)));
   }
 
@@ -336,13 +357,19 @@ std::size_t ChunkedModel::spilled_bytes() const {
 }
 
 void ChunkedModel::spill() {
+  obs::Span span("store.spill");
   ensure_dir(options_.dir);
   for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    if (chunks_[i].spilled()) continue;
     chunks_[i].spill_to(chunk_path(options_.dir, spill_seq_, i));
+    StoreCounters::get().chunks_spilled.increment();
+    StoreCounters::get().spill_bytes.add(chunks_[i].payload_words() * sizeof(std::uint64_t));
   }
 }
 
 Model ChunkedModel::materialize() const {
+  obs::Span span("store.materialize");
+  StoreCounters::get().materializations.increment();
   const std::size_t n = static_cast<std::size_t>(num_phils_);
   std::vector<std::uint64_t> offsets;
   offsets.reserve(num_states_ * n + 1);
@@ -370,6 +397,7 @@ Model ChunkedModel::materialize() const {
 }
 
 void ChunkedModel::save_checkpoint(const std::string& path) const {
+  obs::Span span("store.checkpoint_save");
   std::vector<std::uint64_t> blob;
   std::size_t payload_total = 0;
   for (const Chunk& c : chunks_) payload_total += c.payload_words();
@@ -394,6 +422,7 @@ void ChunkedModel::save_checkpoint(const std::string& path) const {
 
 ChunkedModel ChunkedModel::load_checkpoint(const algos::Algorithm& algo, const graph::Topology& t,
                                            const std::string& path) {
+  obs::Span span("store.checkpoint_load");
   const auto [addr, bytes] = map_file(path);
   std::shared_ptr<const std::uint64_t> mapping(
       static_cast<const std::uint64_t*>(addr),
@@ -433,8 +462,10 @@ ChunkedModel ChunkedModel::load_checkpoint(const algos::Algorithm& algo, const g
     GDP_CHECK_MSG(cursor + sizes[ci] <= total_words,
                   "store: " << path << " truncated inside chunk " << ci);
     Chunk c = Chunk::view(words + cursor, sizes[ci]);
+    StoreCounters::get().fingerprint_checks.increment();
     GDP_CHECK_MSG(c.fingerprint() == fps[ci],
                   "store: chunk " << ci << " of " << path << " fails its fingerprint (corrupt)");
+    StoreCounters::get().chunks_loaded.increment();
     GDP_CHECK_MSG(c.first() == states_seen && c.count() > 0 &&
                       c.num_phils() == out.num_phils_ && c.key_words() == codec.key_words(),
                   "store: chunk " << ci << " of " << path << " has an inconsistent header");
@@ -446,6 +477,7 @@ ChunkedModel ChunkedModel::load_checkpoint(const algos::Algorithm& algo, const g
   GDP_CHECK_MSG(states_seen == out.num_states_,
                 "store: " << path << " chunks cover " << states_seen << " states, header says "
                           << out.num_states_);
+  StoreCounters::get().fingerprint_checks.increment();
   GDP_CHECK_MSG(out.fingerprint() == stored_model_fp,
                 "store: " << path << " fails its model fingerprint (corrupt)");
   return out;

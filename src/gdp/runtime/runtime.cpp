@@ -238,6 +238,9 @@ class Worker {
     s_.eaters_canary[static_cast<std::size_t>(f)].fetch_sub(1, std::memory_order_acq_rel);
   }
 
+  // gdp-lint: allow(obs-outside-span) — per-acquisition latency sample of the
+  // OS-thread stress harness: one timestamp per hunger episode, far too hot
+  // and too local for a registry-backed obs::Span; feeds quantile reports only.
   void record_hunger(std::chrono::steady_clock::time_point hungry_at) {
     if (out_.hunger_ns.size() >= kMaxLatencySamples) return;
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(

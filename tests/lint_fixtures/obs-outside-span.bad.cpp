@@ -1,0 +1,13 @@
+// Seeded violation corpus for the obs-outside-span rule: clock TYPE state
+// held outside gdp/obs/ — a hand-rolled stopwatch whose readings bypass the
+// run report's timing plane. (No ::now() call on these lines; live reads
+// are the wall-clock rule's findings.)
+#include <chrono>
+
+class HomegrownStopwatch {
+ public:
+  void arm(std::chrono::steady_clock::time_point at) { start_ = at; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};

@@ -1,0 +1,13 @@
+// Clean counterpart: phase timing through obs::Span (the timing plane),
+// plain chrono durations for backoff tuning — neither involves a clock
+// type, so no stopwatch state exists outside gdp/obs/.
+#include <chrono>
+
+#include "gdp/obs/obs.hpp"
+
+inline double timed_phase() {
+  gdp::obs::Span span("fixture.phase");
+  const std::chrono::milliseconds backoff{100};
+  (void)backoff;
+  return span.seconds();
+}

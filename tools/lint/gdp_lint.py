@@ -13,8 +13,17 @@ src/ tests/ bench/ examples/ by the `static-analysis` CI job and
                       *_clock::now() in result-producing code. All trial
                       randomness derives from exp/seeding.hpp (the one
                       exempt file) so results are a pure function of the
-                      campaign seed; wall-clock reads are timing-only and
-                      must be suppressed with a justification.
+                      campaign seed. src/gdp/obs/ is the one blessed clock
+                      site: obs::Span implements the run report's timing
+                      plane, and every other wall-clock read is either
+                      routed through it or suppressed with a justification.
+  obs-outside-span    No chrono clock TYPES (steady_clock / system_clock /
+                      high_resolution_clock member state) outside
+                      src/gdp/obs/ — hand-rolled stopwatches bypass the
+                      obs timing plane, so their readings never reach the
+                      run report and tempt result-side use. Hold an
+                      obs::Span instead. Lines that call ::now() are the
+                      wall-clock rule's findings, not this rule's.
   unordered-iteration No range-for over an unordered_map/unordered_set
                       (or StateIndex, which wraps one) — hash iteration
                       order is libstdc++-version- and pointer-dependent,
@@ -91,8 +100,13 @@ SKIP_DIR_PREFIXES = ("build",)
 # all randomness must derive from here, so it is the definition, not a user.
 WALL_CLOCK_EXEMPT = ("src/gdp/exp/seeding.hpp",)
 
+# The one blessed clock directory: gdp::obs implements the timing plane
+# (Span, the run report), so both clock rules skip it wholesale.
+OBS_BLESSED = "gdp/obs/"
+
 RULES = (
     "wall-clock",
+    "obs-outside-span",
     "unordered-iteration",
     "raw-thread",
     "fp-parallel-accumulation",
@@ -270,7 +284,8 @@ WALL_CLOCK_RE = re.compile(
 
 
 def rule_wall_clock(path: str, code_lines: list[str]) -> list[Finding]:
-    if any(path.replace("\\", "/").endswith(x) for x in WALL_CLOCK_EXEMPT):
+    norm = path.replace("\\", "/")
+    if any(norm.endswith(x) for x in WALL_CLOCK_EXEMPT) or OBS_BLESSED in norm:
         return []
     found = []
     for idx, line in enumerate(code_lines, start=1):
@@ -278,8 +293,30 @@ def rule_wall_clock(path: str, code_lines: list[str]) -> list[Finding]:
             found.append(Finding(
                 path, idx, "wall-clock",
                 "nondeterministic time/randomness source; results must be a pure "
-                "function of the seed (derive randomness via exp/seeding.hpp, or "
-                "suppress with a justification that this is timing-only)"))
+                "function of the seed (derive randomness via exp/seeding.hpp, "
+                "time phases through obs::Span, or suppress with a justification "
+                "that this is timing-only)"))
+    return found
+
+
+CLOCK_TYPE_RE = re.compile(r"\bchrono\s*::\s*(?:steady|system|high_resolution)_clock\b")
+
+
+def rule_obs_outside_span(path: str, code_lines: list[str]) -> list[Finding]:
+    norm = path.replace("\\", "/")
+    if OBS_BLESSED in norm:
+        return []
+    found = []
+    for idx, line in enumerate(code_lines, start=1):
+        if "::now" in line:
+            continue  # a live clock read is the wall-clock rule's finding
+        if CLOCK_TYPE_RE.search(line):
+            found.append(Finding(
+                path, idx, "obs-outside-span",
+                "hand-rolled stopwatch state (a chrono clock type) outside "
+                "gdp/obs/: phase timing goes through obs::Span so it lands in "
+                "the run report's timing plane and never leaks into results — "
+                "hold an obs::Span, or suppress with a justification"))
     return found
 
 
@@ -505,6 +542,7 @@ def lint_file(path: pathlib.Path, in_src: bool | None = None) -> list[Finding]:
 
     findings: list[Finding] = []
     findings += rule_wall_clock(str(path), code_lines)
+    findings += rule_obs_outside_span(str(path), code_lines)
     findings += rule_unordered_iteration(str(path), code)
     findings += rule_raw_thread(str(path), code_lines)
     findings += rule_fp_parallel_accumulation(str(path), code)

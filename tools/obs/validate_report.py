@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate gdp::obs run reports (BENCH_<name>.json) against the schema.
+
+Checks, for each file given on the command line:
+
+  * top level: gdp_obs_schema == 1, string "name", object "meta" of
+    string -> string, and exactly the two plane objects "deterministic"
+    (counters / gauges / histograms) and "timing" (counters / spans);
+  * counters and gauges map metric names to non-negative integers;
+  * histograms carry integer "count" / "sum" and a "pow2_buckets" object
+    whose keys are bit-widths 0..64 and whose bucket counts sum to "count";
+  * spans carry integer "count" / "total_ns";
+  * every metric table is emitted in sorted key order (the registry is an
+    ordered map — out-of-order keys mean the emitter changed and diffs of
+    the deterministic plane would churn).
+
+Exit status: 0 when every file validates, 1 otherwise. Stdlib only — this
+runs in the bench-smoke CI step with no third-party packages.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def _fail(errors: list[str], where: str, message: str) -> None:
+    errors.append(f"{where}: {message}")
+
+
+def _check_metric_table(errors: list[str], where: str, table: object) -> None:
+    if not isinstance(table, dict):
+        _fail(errors, where, "must be an object")
+        return
+    for name, value in table.items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            _fail(errors, f"{where}.{name}", "must be a non-negative integer")
+    keys = list(table.keys())
+    if keys != sorted(keys):
+        _fail(errors, where, "keys must be in sorted order")
+
+
+def _check_histograms(errors: list[str], where: str, table: object) -> None:
+    if not isinstance(table, dict):
+        _fail(errors, where, "must be an object")
+        return
+    for name, hist in table.items():
+        here = f"{where}.{name}"
+        if not isinstance(hist, dict):
+            _fail(errors, here, "must be an object")
+            continue
+        for field in ("count", "sum"):
+            if not isinstance(hist.get(field), int) or isinstance(hist.get(field), bool):
+                _fail(errors, here, f'needs integer "{field}"')
+        buckets = hist.get("pow2_buckets")
+        if not isinstance(buckets, dict):
+            _fail(errors, here, 'needs object "pow2_buckets"')
+            continue
+        total = 0
+        for width, count in buckets.items():
+            if not (width.isdigit() and 0 <= int(width) <= 64):
+                _fail(errors, here, f'bucket key "{width}" is not a bit-width 0..64')
+            if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+                _fail(errors, here, f'bucket "{width}" count must be a non-negative integer')
+            else:
+                total += count
+        if isinstance(hist.get("count"), int) and total != hist["count"]:
+            _fail(errors, here, f'bucket counts sum to {total}, "count" says {hist["count"]}')
+
+
+def _check_spans(errors: list[str], where: str, table: object) -> None:
+    if not isinstance(table, dict):
+        _fail(errors, where, "must be an object")
+        return
+    for name, span in table.items():
+        here = f"{where}.{name}"
+        if not isinstance(span, dict):
+            _fail(errors, here, "must be an object")
+            continue
+        for field in ("count", "total_ns"):
+            if not isinstance(span.get(field), int) or isinstance(span.get(field), bool):
+                _fail(errors, here, f'needs integer "{field}"')
+    keys = list(table.keys())
+    if keys != sorted(keys):
+        _fail(errors, where, "keys must be in sorted order")
+
+
+def validate(report: object) -> list[str]:
+    errors: list[str] = []
+    if not isinstance(report, dict):
+        return ["top level must be an object"]
+    if report.get("gdp_obs_schema") != SCHEMA_VERSION:
+        _fail(errors, "gdp_obs_schema",
+              f"must be {SCHEMA_VERSION}, got {report.get('gdp_obs_schema')!r}")
+    if not isinstance(report.get("name"), str):
+        _fail(errors, "name", "must be a string")
+    meta = report.get("meta")
+    if not isinstance(meta, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in meta.items()
+    ):
+        _fail(errors, "meta", "must be an object of string -> string")
+
+    det = report.get("deterministic")
+    if not isinstance(det, dict):
+        _fail(errors, "deterministic", "must be an object")
+    else:
+        _check_metric_table(errors, "deterministic.counters", det.get("counters"))
+        _check_metric_table(errors, "deterministic.gauges", det.get("gauges"))
+        _check_histograms(errors, "deterministic.histograms", det.get("histograms"))
+
+    timing = report.get("timing")
+    if not isinstance(timing, dict):
+        _fail(errors, "timing", "must be an object")
+    else:
+        _check_metric_table(errors, "timing.counters", timing.get("counters"))
+        _check_spans(errors, "timing.spans", timing.get("spans"))
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(f"usage: {argv[0]} REPORT.json [REPORT.json ...]", file=sys.stderr)
+        return 1
+    status = 0
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                report = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"{path}: cannot load: {err}", file=sys.stderr)
+            status = 1
+            continue
+        errors = validate(report)
+        if errors:
+            status = 1
+            for e in errors:
+                print(f"{path}: {e}", file=sys.stderr)
+        else:
+            print(f"{path}: ok (gdp_obs_schema {SCHEMA_VERSION})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
