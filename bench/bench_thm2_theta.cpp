@@ -88,16 +88,9 @@ int main(int argc, char** argv) {
       row.push_back(verdict_str(verdict));
       row.push_back(model.truncated() ? "unknown" : prob_str(q.p_min));
       row.push_back(model.truncated() ? "unknown" : time_str(q.e_max));
-      // Machine-readable quantitative verdicts, kept for one release while
-      // the CI tracking harness migrates to BENCH_thm2_theta.json (the
-      // registry report carries quant.* counters and this span).
-      std::printf("  BENCH quant model=%s/%s threads=%d states=%zu certainty=%s "
-                  "pmin=[%.9f,%.9f] pmax=[%.9f,%.9f] ptrap=[%.9f,%.9f] "
-                  "emin=[%g,%g] emax=[%g,%g] sweeps=%zu\n",
-                  name, t.name().c_str(), threads, model.num_states(),
-                  mdp::quant::to_string(q.certainty), q.p_min.lower, q.p_min.upper,
-                  q.p_max.lower, q.p_max.upper, q.p_trap.lower, q.p_trap.upper, q.e_min.lower,
-                  q.e_min.upper, q.e_max.lower, q.e_max.upper, q.sweeps);
+      // Machine-readable quantitative verdicts live in BENCH_thm2_theta.json
+      // (quant.* counters in the registry report); the deprecated printf
+      // "BENCH quant" lines are gone after their one-release grace period.
     }
     verdicts.add_row(row);
   }
@@ -190,9 +183,12 @@ int main(int argc, char** argv) {
   // (d) Capped level-synchronous exploration straight into the chunked
   // store, spill on: a Theorem-2-premise instance far past the in-RAM
   // comfort zone (gdp2 on ring_with_chord(4) runs to ~6M states uncapped)
-  // explored to checkpoint-sized caps. The machine-readable copy is the
-  // registry report (BENCH_thm2_theta.json: explore.* / store.* counters and
-  // the bench.explore_store span); the printf BENCH lines stay one release.
+  // explored to checkpoint-sized caps, then a chunk-native verdict over the
+  // spilled chunks under a bounded residency budget. The machine-readable
+  // copy is the registry report (BENCH_thm2_theta.json: explore.* / store.*
+  // counters — including store.chunk_faults / store.chunk_evictions — and
+  // the bench.explore_store span); the deprecated printf "BENCH
+  // explore_store" lines are gone after their one-release grace period.
   std::vector<std::pair<std::string, std::string>> meta = {
       {"threads", std::to_string(threads)}, {"sections", sections}};
   if (want('d')) {
@@ -228,18 +224,39 @@ int main(int argc, char** argv) {
                     chunked.spilled_bytes() / (1024.0 * 1024.0));
       table.add_row({std::to_string(caps[i]), std::to_string(chunked.num_states()), rate_s,
                      rss_s, spill_s});
-      std::printf("  BENCH explore_store model=gdp2/%s threads=%d cap=%zu states=%zu "
-                  "truncated=%d states_per_sec=%.1f peak_rss_bytes=%zu spill_bytes=%zu "
-                  "chunks=%zu\n",
-                  t.name().c_str(), threads, caps[i], chunked.num_states(),
-                  chunked.truncated() ? 1 : 0, rate, peak_rss, chunked.spilled_bytes(),
-                  chunked.num_chunks());
       const std::string cap_tag = "cap_" + std::to_string(caps[i]);
       meta.emplace_back(cap_tag + "_states", std::to_string(chunked.num_states()));
       meta.emplace_back(cap_tag + "_spill_bytes", std::to_string(chunked.spilled_bytes()));
       meta.emplace_back(cap_tag + "_peak_rss_bytes", std::to_string(peak_rss));
     }
     table.print();
+
+    // Chunk-native fair-progress verdict over the spilled model under a
+    // tight residency budget: the kernels page chunks through an LRU window
+    // instead of materializing (store.materializations stays 0 here), which
+    // is the whole point of analyzing out-of-core models in place.
+    {
+      mdp::par::CheckOptions copts;
+      copts.threads = threads;
+      copts.max_states = 100'000;
+      mdp::store::StoreOptions sopts;
+      sopts.spill = true;
+      sopts.dir = spill_dir;
+      sopts.chunk_states = std::size_t{1} << 13;  // ~14 chunks at this cap
+      sopts.max_resident_chunks = 4;              // so the 4-chunk window pages
+      const auto bounded = mdp::store::explore(*algo, t, sopts, copts);
+      obs::Span verdict_span("bench.store_verdict");
+      const auto verdict = mdp::store::check_fair_progress(bounded, ~std::uint64_t{0}, copts);
+      verdict_span.stop();
+      std::printf("  chunk-native verdict (budget 4 of %zu chunks): %s in %.2fs, "
+                  "peak resident %.1f MB of %.1f MB spilled\n",
+                  bounded.num_chunks(), mdp::to_string(verdict.verdict), verdict_span.seconds(),
+                  bounded.peak_resident_bytes() / (1024.0 * 1024.0),
+                  bounded.spilled_bytes() / (1024.0 * 1024.0));
+      meta.emplace_back("store_verdict", mdp::to_string(verdict.verdict));
+      meta.emplace_back("store_verdict_peak_resident_bytes",
+                        std::to_string(bounded.peak_resident_bytes()));
+    }
     std::error_code ec;
     std::filesystem::remove_all(spill_dir, ec);  // the spilled chunks served their purpose
   }

@@ -86,6 +86,14 @@ if [[ "${SANITIZE}" == 1 ]]; then
   echo "=== asan-ubsan: forced-spill chunked-store pass (ctest -L store) ==="
   GDP_TEST_FORCE_SPILL=1 ctest --test-dir build/asan-ubsan --output-on-failure -L store
 
+  # Same suite again under a tight residency budget (2 chunks hot, 128
+  # states per chunk): the chunk-native verdict kernels now run through the
+  # LRU fault/evict path constantly, so ASan sees madvise-dropped pages
+  # refaulting mid-sweep — the exact out-of-core access pattern.
+  echo "=== asan-ubsan: bounded-resident forced-spill pass (ctest -L store) ==="
+  GDP_TEST_FORCE_SPILL=1 GDP_TEST_MAX_RESIDENT_CHUNKS=2 GDP_TEST_CHUNK_STATES=128 \
+    ctest --test-dir build/asan-ubsan --output-on-failure -L store
+
   # TSan pass over the threaded subsystems only (the parallel model checker,
   # the campaign runner and the obs registry); ASan and TSan cannot share a
   # build tree.

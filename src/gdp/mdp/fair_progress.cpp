@@ -1,7 +1,8 @@
 #include "gdp/mdp/fair_progress.hpp"
 
-#include <algorithm>
 #include <sstream>
+
+#include "gdp/mdp/fair_progress_impl.hpp"
 
 namespace gdp::mdp {
 
@@ -26,36 +27,13 @@ namespace detail {
 
 FairProgressResult verdict_from_mecs(const Model& model, std::uint64_t set_mask,
                                      const std::vector<EndComponent>& mecs) {
-  return verdict_from_mecs(model, set_mask, mecs, reachable_states(model));
+  return verdict_from_mecs_t(model, set_mask, mecs, reachable_states(model));
 }
 
 FairProgressResult verdict_from_mecs(const Model& model, std::uint64_t set_mask,
                                      const std::vector<EndComponent>& mecs,
                                      const std::vector<bool>& reached) {
-  FairProgressResult result;
-  result.avoid_set = set_mask;
-  result.num_states = model.num_states();
-  result.num_mecs = mecs.size();
-
-  for (const EndComponent& mec : mecs) {
-    if (!mec.fair(model.num_phils())) continue;
-    ++result.num_fair_mecs;
-    const bool reachable = std::any_of(mec.states.begin(), mec.states.end(),
-                                       [&](StateId s) { return reached[s]; });
-    if (reachable && result.witness_size == 0) {
-      result.witness_size = mec.states.size();
-      result.witness_state = mec.states.front();
-    }
-  }
-
-  if (result.witness_size != 0) {
-    result.verdict = Verdict::kProgressFails;
-  } else if (model.truncated()) {
-    result.verdict = Verdict::kUnknownTruncated;
-  } else {
-    result.verdict = Verdict::kProgressCertain;
-  }
-  return result;
+  return verdict_from_mecs_t(model, set_mask, mecs, reached);
 }
 
 }  // namespace detail

@@ -46,46 +46,6 @@ StateId LevelExplorer::intern(const PackedKey& key, std::uint64_t eater_bits) {
   return it->second;
 }
 
-void LevelExplorer::restore(const Model& model, std::vector<PackedKey> keys) {
-  GDP_CHECK_MSG(model.num_phils() == topology_.num_phils(),
-                "restore: model has " << model.num_phils() << " philosophers, topology has "
-                                      << topology_.num_phils());
-  GDP_CHECK_MSG(keys.size() == model.num_states(),
-                "restore: " << keys.size() << " keys for " << model.num_states() << " states");
-  GDP_CHECK_MSG(!keys.empty() && keys[0] == codec_.encode(algo_.initial_state(topology_)),
-                "restore: state 0 is not this (algorithm, topology)'s initial state");
-
-  // The level-synchronous invariant: expanded states are an id prefix,
-  // frontier states the tail. Anything else is not a checkpoint this
-  // explorer produced.
-  std::size_t expanded = 0;
-  while (expanded < keys.size() && !model.frontier_[expanded]) ++expanded;
-  for (std::size_t s = expanded; s < keys.size(); ++s) {
-    GDP_CHECK_MSG(model.frontier_[s],
-                  "restore: expanded state " << s << " follows a frontier state — the model is "
-                                                "not a level-synchronous prefix");
-  }
-
-  const std::size_t n = static_cast<std::size_t>(model.num_phils());
-  keys_ = std::move(keys);
-  eaters_ = model.eaters_;
-  outcomes_ = model.outcomes_;
-  row_ends_.clear();
-  row_ends_.reserve(expanded * n);
-  for (std::size_t s = 0; s < expanded; ++s) {
-    for (std::size_t p = 0; p < n; ++p) row_ends_.push_back(model.offsets_[s * n + p + 1]);
-  }
-  num_expanded_ = expanded;
-  truncated_ = false;
-
-  index_.reset(codec_);
-  index_.reserve(keys_.size());
-  for (std::size_t s = 0; s < keys_.size(); ++s) {
-    const auto [it, inserted] = index_.try_emplace(keys_[s], static_cast<StateId>(s));
-    GDP_CHECK_MSG(inserted, "restore: duplicate key at state " << s);
-  }
-}
-
 void LevelExplorer::run(std::size_t max_states, int threads) {
   const int n = topology_.num_phils();
   const std::size_t kw = codec_.key_words();

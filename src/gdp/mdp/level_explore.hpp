@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "gdp/algos/algorithm.hpp"
+#include "gdp/common/check.hpp"
 #include "gdp/graph/topology.hpp"
 #include "gdp/mdp/key.hpp"
 #include "gdp/mdp/model.hpp"
@@ -50,7 +51,57 @@ class LevelExplorer {
   /// keys (as returned by take_model): the frontier must be a contiguous id
   /// tail and keys[0] must encode the initial state. run() then continues
   /// the interrupted run bit-identically.
-  void restore(const Model& model, std::vector<PackedKey> keys);
+  ///
+  /// Generic over the Model read API (row/eaters/frontier): restoring from
+  /// a store::ChunkedModel reads rows chunk by chunk and never needs the
+  /// contiguous materialized form — the basis of store::resume's
+  /// no-materialize contract. Rows are copied in (state, philosopher)
+  /// ascending order, which reproduces the contiguous CSR byte for byte.
+  template <class ModelT>
+  void restore(const ModelT& model, std::vector<PackedKey> keys) {
+    GDP_CHECK_MSG(model.num_phils() == topology_.num_phils(),
+                  "restore: model has " << model.num_phils() << " philosophers, topology has "
+                                        << topology_.num_phils());
+    GDP_CHECK_MSG(keys.size() == model.num_states(),
+                  "restore: " << keys.size() << " keys for " << model.num_states() << " states");
+    GDP_CHECK_MSG(!keys.empty() && keys[0] == codec_.encode(algo_.initial_state(topology_)),
+                  "restore: state 0 is not this (algorithm, topology)'s initial state");
+
+    // The level-synchronous invariant: expanded states are an id prefix,
+    // frontier states the tail. Anything else is not a checkpoint this
+    // explorer produced.
+    std::size_t expanded = 0;
+    while (expanded < keys.size() && !model.frontier(static_cast<StateId>(expanded))) ++expanded;
+    for (std::size_t s = expanded; s < keys.size(); ++s) {
+      GDP_CHECK_MSG(model.frontier(static_cast<StateId>(s)),
+                    "restore: expanded state " << s << " follows a frontier state — the model is "
+                                                  "not a level-synchronous prefix");
+    }
+
+    const std::size_t n = static_cast<std::size_t>(model.num_phils());
+    keys_ = std::move(keys);
+    eaters_.resize(keys_.size());
+    for (std::size_t s = 0; s < keys_.size(); ++s) eaters_[s] = model.eaters(static_cast<StateId>(s));
+    outcomes_.clear();
+    row_ends_.clear();
+    row_ends_.reserve(expanded * n);
+    for (std::size_t s = 0; s < expanded; ++s) {
+      for (std::size_t p = 0; p < n; ++p) {
+        const auto [begin, end] = model.row(static_cast<StateId>(s), static_cast<int>(p));
+        outcomes_.insert(outcomes_.end(), begin, end);
+        row_ends_.push_back(outcomes_.size());
+      }
+    }
+    num_expanded_ = expanded;
+    truncated_ = false;
+
+    index_.reset(codec_);
+    index_.reserve(keys_.size());
+    for (std::size_t s = 0; s < keys_.size(); ++s) {
+      const auto [it, inserted] = index_.try_emplace(keys_[s], static_cast<StateId>(s));
+      GDP_CHECK_MSG(inserted, "restore: duplicate key at state " << s);
+    }
+  }
 
   /// Level-synchronous BFS until the space is exhausted or num_states() >=
   /// max_states at a level boundary (the model is then truncated).

@@ -1,0 +1,652 @@
+// Template definitions of the parallel MEC decomposition and the parallel
+// reachable-states sweep, generalized over any type exposing the Model read
+// API. Instantiated for `Model` (par/end_components.cpp) and for
+// `store::ChunkedModel` (store.cpp — the chunk-native verdict path, which
+// must produce components and reachable sets byte-identical to the
+// contiguous path without materializing one).
+//
+// Same refinement fixpoint as the sequential end_components_impl.hpp — split
+// the candidate fragment into SCCs of the usable-action graph, drop states
+// with no action staying inside their own SCC, repeat — but each round's SCC
+// decomposition runs fork/join: forward-backward (FW-BW) reachability from
+// a pivot splits a region into the pivot's SCC plus three independent
+// sub-regions processed in parallel, and regions below a size threshold run
+// the classic sequential Tarjan instead of splitting further.
+//
+// Determinism: SCC labels are canonical (the smallest state id of the
+// component), the survival filter is two-phase (reads a snapshot, then
+// applies), and the final collection scans states in ascending id exactly
+// like the sequential implementation — so the returned components (sets,
+// order, philosopher masks) are identical to mdp::maximal_end_components
+// for every thread count. Candidate fragments below seq_mec_threshold are
+// handed to the sequential decomposition outright.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gdp/common/check.hpp"
+#include "gdp/common/pool.hpp"
+#include "gdp/common/thread_annotations.hpp"
+#include "gdp/mdp/end_components_impl.hpp"
+#include "gdp/mdp/fair_progress_impl.hpp"
+#include "gdp/mdp/par/par.hpp"
+#include "gdp/obs/obs.hpp"
+
+namespace gdp::mdp::par::detail {
+
+inline constexpr std::int64_t kRemoved = -1;
+
+/// Timing-plane counters for the FW-BW machinery. Given the parallel path,
+/// how each region is processed (trim, pivot = smallest-index member, split
+/// or Tarjan) is a pure function of the region's states and the
+/// usable-action graph — but the seq-vs-par dispatch itself keys on the
+/// requested worker count, and the sequential fallback (workers <= 1 or a
+/// small candidate set) performs none of this work and records zeros. The
+/// totals therefore describe how the decomposition was *executed*, not what
+/// was decomposed, and are not thread-count invariant: timing plane, like
+/// the pool counters.
+struct MecCounters {
+  obs::Counter& splits =
+      obs::Registry::global().counter("mec.fwbw_splits", obs::Plane::kTiming);
+  obs::Counter& trimmed =
+      obs::Registry::global().counter("mec.trimmed_states", obs::Plane::kTiming);
+  obs::Counter& tarjan_regions =
+      obs::Registry::global().counter("mec.tarjan_regions", obs::Plane::kTiming);
+  obs::Counter& tarjan_escapes =
+      obs::Registry::global().counter("mec.tarjan_escapes", obs::Plane::kTiming);
+  obs::Counter& rounds =
+      obs::Registry::global().counter("mec.refinement_rounds", obs::Plane::kTiming);
+  static MecCounters& get() {
+    static MecCounters instance;
+    return instance;
+  }
+};
+
+/// Compressed adjacency over the states of the model (off has n+1 entries).
+struct Csr {
+  std::vector<std::size_t> off;
+  std::vector<StateId> edges;
+};
+
+/// All outcomes of actions usable at s under `component` (an action is
+/// usable when every outcome stays in s's partition block), appended to out.
+template <class ModelT, typename Fn>
+void for_each_usable_edge(const ModelT& model, const std::vector<std::int64_t>& component,
+                          StateId s, Fn&& fn) {
+  for (int p = 0; p < model.num_phils(); ++p) {
+    const auto [begin, end] = model.row(s, p);
+    if (begin == end) continue;
+    bool usable = true;
+    for (const Outcome* o = begin; o != end && usable; ++o) {
+      usable = component[o->next] == component[s];
+    }
+    if (!usable) continue;
+    for (const Outcome* o = begin; o != end; ++o) fn(o->next);
+  }
+}
+
+/// Forward CSR of the usable-action graph restricted to candidate states,
+/// plus its reverse. Built in parallel each refinement round.
+template <class ModelT>
+void build_graph(const ModelT& model, const std::vector<std::int64_t>& component, int threads,
+                 Csr& fwd, Csr& rev) {
+  const std::size_t n = model.num_states();
+
+  std::vector<std::size_t> count(n, 0);
+  common::parallel_for(n, threads, [&](std::uint32_t s) {
+    if (component[s] == kRemoved) return;
+    std::size_t c = 0;
+    for_each_usable_edge(model, component, s, [&](StateId) { ++c; });
+    count[s] = c;
+  });
+
+  fwd.off.assign(n + 1, 0);
+  for (std::size_t s = 0; s < n; ++s) fwd.off[s + 1] = fwd.off[s] + count[s];
+  fwd.edges.resize(fwd.off[n]);
+  common::parallel_for(n, threads, [&](std::uint32_t s) {
+    if (component[s] == kRemoved) return;
+    std::size_t idx = fwd.off[s];
+    for_each_usable_edge(model, component, s, [&](StateId t) { fwd.edges[idx++] = t; });
+  });
+
+  // Reverse: counts and slot claims via atomic_ref (order inside a reverse
+  // adjacency list is scheduling-dependent, which only perturbs traversal
+  // order — reachability results and canonical labels are unaffected).
+  std::vector<std::size_t> rcount(n, 0);
+  common::parallel_for(n, threads, [&](std::uint32_t s) {
+    for (std::size_t i = fwd.off[s]; i < fwd.off[s + 1]; ++i) {
+      std::atomic_ref<std::size_t>(rcount[fwd.edges[i]]).fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  rev.off.assign(n + 1, 0);
+  for (std::size_t s = 0; s < n; ++s) rev.off[s + 1] = rev.off[s] + rcount[s];
+  rev.edges.resize(rev.off[n]);
+  std::vector<std::size_t> slot(rev.off.begin(), rev.off.end() - 1);
+  common::parallel_for(n, threads, [&](std::uint32_t s) {
+    for (std::size_t i = fwd.off[s]; i < fwd.off[s + 1]; ++i) {
+      const StateId t = fwd.edges[i];
+      const std::size_t at =
+          std::atomic_ref<std::size_t>(slot[t]).fetch_add(1, std::memory_order_relaxed);
+      rev.edges[at] = static_cast<StateId>(s);
+    }
+  });
+}
+
+/// A unit of fork/join SCC work: a set of states that provably contains
+/// every SCC of each of its members.
+struct Region {
+  std::uint32_t token = 0;
+  std::vector<StateId> states;
+  /// Consecutive ineffective FW-BW splits above this region (a split is
+  /// ineffective when a child keeps >= 3/4 of its parent). Model-checking
+  /// graphs are often a long DAG of small SCCs — the known worst case for
+  /// FW-BW, where every split peels one small component — so after two
+  /// ineffective splits the region goes straight to Tarjan.
+  int ineffective_splits = 0;
+};
+
+/// Queue items hold *batches* of regions: refined rounds produce hundreds
+/// of thousands of tiny partition blocks, and one mutex round-trip per
+/// block would dominate the decomposition.
+using RegionBatch = std::vector<Region>;
+
+class RegionQueue {
+ public:
+  void push(RegionBatch&& batch) GDP_EXCLUDES(mu_) {
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    common::MutexLock lock(mu_);
+    batches_.push_back(std::move(batch));
+  }
+
+  std::optional<RegionBatch> pop() GDP_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    if (batches_.empty()) return std::nullopt;
+    RegionBatch batch = std::move(batches_.back());
+    batches_.pop_back();
+    return batch;
+  }
+
+  /// Called by the worker once a region (and the pushes of its children)
+  /// is fully processed.
+  void done() { outstanding_.fetch_sub(1, std::memory_order_acq_rel); }
+  bool idle() const { return outstanding_.load(std::memory_order_acquire) == 0; }
+
+ private:
+  common::Mutex mu_;
+  std::vector<RegionBatch> batches_ GDP_GUARDED_BY(mu_);
+  /// Regions pushed but not yet fully processed; incremented BEFORE the
+  /// push is visible so idle() can never report a transient empty queue as
+  /// terminated while a producer is mid-push.
+  std::atomic<std::size_t> outstanding_{0};
+};
+
+/// Fork/join SCC of the usable-action graph: fills out[s] with the
+/// canonical label (smallest state id) of s's SCC for every candidate s,
+/// kRemoved otherwise.
+template <class ModelT>
+class ParallelScc {
+ public:
+  ParallelScc(const ModelT& model, const std::vector<std::int64_t>& component,
+              const CheckOptions& options, int threads)
+      : model_(model), component_(component), options_(options), threads_(threads) {}
+
+  void run(std::vector<std::int64_t>& out) {
+    const std::size_t n = model_.num_states();
+    out.assign(n, kRemoved);
+    out_ = &out;
+
+    build_graph(model_, component_, threads_, fwd_, rev_);
+
+    // Foreign states' tags are read while their owners relabel them (the
+    // membership test only needs "is this my token", and tokens are never
+    // reused), so the tags are relaxed atomics to keep that formally
+    // race-free.
+    region_of_ = std::vector<std::atomic<std::uint32_t>>(n);
+    fw_mark_.assign(n, 0);
+    bw_mark_.assign(n, 0);
+    indeg_.assign(n, 0);
+    outdeg_.assign(n, 0);
+    local_of_.assign(n, 0);
+
+    // Each partition block is an independent SCC problem (usable edges
+    // never cross blocks), so seed one region per block: the first round
+    // starts from one big region, refined rounds fork into many small
+    // ones that go straight to the per-region Tarjan. Singleton blocks —
+    // the vast majority once the partition approaches the MEC fixpoint —
+    // are their own SCC by definition and resolve right here; the rest
+    // are packed into ~seq_scc_region-state batches so queue traffic
+    // stays proportional to work, not to block count.
+    std::unordered_map<std::int64_t, std::vector<StateId>> blocks;
+    blocks.reserve(n / 2 + 1);
+    for (std::size_t s = 0; s < n; ++s) {
+      if (component_[s] != kRemoved) blocks[component_[s]].push_back(static_cast<StateId>(s));
+    }
+    bool any = false;
+    RegionBatch batch;
+    std::size_t batch_states = 0;
+    // Iteration order only picks region tokens and queue order — pure work
+    // scheduling. SCC labels are canonical min-state ids and the final
+    // collection scans states ascending, so no result bit depends on it.
+    // gdp-lint: allow(unordered-iteration) — feeds the work queue, not any output
+    for (auto& [label, states] : blocks) {
+      if (states.size() == 1) {
+        (*out_)[states.front()] = states.front();
+        continue;
+      }
+      Region region;
+      region.token = next_token_.fetch_add(1, std::memory_order_relaxed);
+      region.states = std::move(states);
+      for (const StateId s : region.states) set_region(s, region.token);
+      batch_states += region.states.size();
+      batch.push_back(std::move(region));
+      if (batch_states >= options_.seq_scc_region) {
+        queue_.push(std::move(batch));
+        batch = {};
+        batch_states = 0;
+        any = true;
+      }
+    }
+    if (!batch.empty()) {
+      queue_.push(std::move(batch));
+      any = true;
+    }
+    if (!any) return;
+
+    const unsigned workers = common::effective_threads(threads_, n);
+    common::run_workers(workers, [&](unsigned) {
+      common::Backoff backoff;
+      while (true) {
+        std::optional<RegionBatch> claimed = queue_.pop();
+        if (!claimed) {
+          if (queue_.idle()) break;
+          backoff.pause();
+          continue;
+        }
+        backoff.reset();
+        for (Region& r : *claimed) process(std::move(r));
+        queue_.done();
+      }
+    });
+  }
+
+ private:
+  /// Reachability sweep from `pivot` within region `token` over `graph`,
+  /// stamping `mark[s] = token`.
+  void sweep(const Csr& graph, StateId pivot, std::uint32_t token,
+             std::vector<std::uint32_t>& mark) {
+    std::vector<StateId> stack{pivot};
+    mark[pivot] = token;
+    while (!stack.empty()) {
+      const StateId s = stack.back();
+      stack.pop_back();
+      for (std::size_t i = graph.off[s]; i < graph.off[s + 1]; ++i) {
+        const StateId t = graph.edges[i];
+        if (region_of(t) != token || mark[t] == token) continue;
+        mark[t] = token;
+        stack.push_back(t);
+      }
+    }
+  }
+
+  /// Peels states that cannot lie on any cycle within the region (zero
+  /// in-region in-degree or out-degree — iterated, so whole DAG-shaped
+  /// tails collapse in one linear pass). Each peeled state is its own SCC.
+  /// Without this, graphs dominated by trivial SCCs degrade FW-BW splitting
+  /// to one component per sweep (the classic FW-BW pathology).
+  void trim(Region& r) {
+    const std::uint32_t token = r.token;
+    for (const StateId s : r.states) {
+      indeg_[s] = 0;
+      outdeg_[s] = 0;
+    }
+    for (const StateId s : r.states) {
+      for (std::size_t i = fwd_.off[s]; i < fwd_.off[s + 1]; ++i) {
+        const StateId t = fwd_.edges[i];
+        if (region_of(t) != token) continue;
+        ++outdeg_[s];
+        ++indeg_[t];
+      }
+    }
+    std::vector<StateId> worklist;
+    for (const StateId s : r.states) {
+      if (indeg_[s] == 0 || outdeg_[s] == 0) worklist.push_back(s);
+    }
+    while (!worklist.empty()) {
+      const StateId s = worklist.back();
+      worklist.pop_back();
+      if (region_of(s) != token) continue;  // peeled via the other degree
+      set_region(s, 0);
+      (*out_)[s] = s;  // a peeled state is a singleton SCC
+      for (std::size_t i = fwd_.off[s]; i < fwd_.off[s + 1]; ++i) {
+        const StateId t = fwd_.edges[i];
+        if (region_of(t) == token && --indeg_[t] == 0) worklist.push_back(t);
+      }
+      for (std::size_t i = rev_.off[s]; i < rev_.off[s + 1]; ++i) {
+        const StateId t = rev_.edges[i];
+        if (region_of(t) == token && --outdeg_[t] == 0) worklist.push_back(t);
+      }
+    }
+    std::erase_if(r.states, [&](StateId s) { return region_of(s) != token; });
+  }
+
+  void process(Region r) {
+    MecCounters& ctr = MecCounters::get();
+    const std::size_t before_trim = r.states.size();
+    trim(r);
+    ctr.trimmed.add(before_trim - r.states.size());
+    if (r.states.empty()) return;
+    if (r.states.size() <= options_.seq_scc_region || r.ineffective_splits >= 2) {
+      ctr.tarjan_regions.increment();
+      // An escape is a region *above* the size threshold bailed to Tarjan
+      // because FW-BW stopped making progress on it.
+      if (r.states.size() > options_.seq_scc_region) ctr.tarjan_escapes.increment();
+      tarjan(r);
+      return;
+    }
+    ctr.splits.increment();
+    const std::uint32_t token = r.token;
+    const StateId pivot = r.states.front();
+    sweep(fwd_, pivot, token, fw_mark_);
+    sweep(rev_, pivot, token, bw_mark_);
+
+    std::vector<StateId> scc, fw_only, bw_only, rest;
+    for (const StateId s : r.states) {
+      const bool f = fw_mark_[s] == token;
+      const bool b = bw_mark_[s] == token;
+      if (f && b) {
+        scc.push_back(s);
+      } else if (f) {
+        fw_only.push_back(s);
+      } else if (b) {
+        bw_only.push_back(s);
+      } else {
+        rest.push_back(s);
+      }
+    }
+    const std::int64_t label = *std::min_element(scc.begin(), scc.end());
+    for (const StateId s : scc) (*out_)[s] = label;
+
+    // Every SCC lies entirely within FW∩BW, FW\BW, BW\FW or the remainder
+    // (the FW-BW theorem), so the three leftovers recurse independently.
+    for (std::vector<StateId>* part : {&fw_only, &bw_only, &rest}) {
+      if (part->empty()) continue;
+      Region child;
+      child.token = next_token_.fetch_add(1, std::memory_order_relaxed);
+      child.states = std::move(*part);
+      child.ineffective_splits =
+          child.states.size() * 4 >= r.states.size() * 3 ? r.ineffective_splits + 1 : 0;
+      for (const StateId s : child.states) set_region(s, child.token);
+      RegionBatch one;
+      one.push_back(std::move(child));
+      queue_.push(std::move(one));
+    }
+  }
+
+  /// Sequential Tarjan over one region (iterative), emitting canonical
+  /// min-state labels. Local dense indices keep the scratch proportional
+  /// to the region, not the model.
+  void tarjan(const Region& r) {
+    const std::int32_t kNone = -1;
+    const std::size_t m = r.states.size();
+    // local_of_ is a shared scratch: regions are disjoint and each state's
+    // slot is only touched by the worker owning its region.
+    for (std::size_t i = 0; i < m; ++i) local_of_[r.states[i]] = static_cast<std::int32_t>(i);
+
+    std::vector<std::int32_t> index(m, kNone), low(m, 0);
+    std::vector<bool> on_stack(m, false);
+    std::vector<std::int32_t> scc_stack;
+    std::int32_t counter = 0;
+
+    struct Frame {
+      std::int32_t v;           // local index
+      std::size_t edge;         // next edge offset in fwd_
+      std::size_t edge_end;
+    };
+    std::vector<Frame> stack;
+
+    auto push_state = [&](std::int32_t v) {
+      index[v] = low[v] = counter++;
+      scc_stack.push_back(v);
+      on_stack[v] = true;
+      const StateId s = r.states[static_cast<std::size_t>(v)];
+      stack.push_back(Frame{v, fwd_.off[s], fwd_.off[s + 1]});
+    };
+
+    for (std::size_t root = 0; root < m; ++root) {
+      if (index[root] != kNone) continue;
+      push_state(static_cast<std::int32_t>(root));
+      while (!stack.empty()) {
+        Frame& frame = stack.back();
+        if (frame.edge == frame.edge_end) {
+          const std::int32_t v = frame.v;
+          stack.pop_back();
+          if (!stack.empty()) {
+            low[stack.back().v] = std::min(low[stack.back().v], low[v]);
+          }
+          if (low[v] == index[v]) {
+            // Pop the component; its canonical label is its smallest id.
+            std::size_t first = scc_stack.size();
+            while (true) {
+              --first;
+              if (scc_stack[first] == v) break;
+            }
+            std::int64_t label = std::numeric_limits<std::int64_t>::max();
+            for (std::size_t i = first; i < scc_stack.size(); ++i) {
+              label = std::min<std::int64_t>(label,
+                                             r.states[static_cast<std::size_t>(scc_stack[i])]);
+            }
+            for (std::size_t i = first; i < scc_stack.size(); ++i) {
+              const std::int32_t w = scc_stack[i];
+              on_stack[w] = false;
+              (*out_)[r.states[static_cast<std::size_t>(w)]] = label;
+            }
+            scc_stack.resize(first);
+          }
+          continue;
+        }
+        const StateId t = fwd_.edges[frame.edge++];
+        if (region_of(t) != r.token) continue;
+        const std::int32_t w = local_of_[t];
+        if (index[w] == kNone) {
+          push_state(w);
+        } else if (on_stack[w]) {
+          low[frame.v] = std::min(low[frame.v], index[w]);
+        }
+      }
+    }
+  }
+
+  const ModelT& model_;
+  const std::vector<std::int64_t>& component_;
+  const CheckOptions& options_;
+  int threads_;
+  std::uint32_t region_of(StateId s) const {
+    return region_of_[s].load(std::memory_order_relaxed);
+  }
+  void set_region(StateId s, std::uint32_t token) {
+    region_of_[s].store(token, std::memory_order_relaxed);
+  }
+
+  Csr fwd_, rev_;
+  std::vector<std::atomic<std::uint32_t>> region_of_;
+  std::vector<std::uint32_t> fw_mark_, bw_mark_;
+  std::vector<std::uint32_t> indeg_, outdeg_;
+  std::vector<std::int32_t> local_of_;
+  std::atomic<std::uint32_t> next_token_{1};
+  RegionQueue queue_;
+  std::vector<std::int64_t>* out_ = nullptr;
+};
+
+template <class ModelT>
+std::vector<EndComponent> maximal_end_components_t(const ModelT& model, std::uint64_t avoid_set,
+                                                   const CheckOptions& options) {
+  const std::size_t n = model.num_states();
+  GDP_CHECK_MSG(n < (std::uint64_t{1} << 31), "parallel MEC decomposition supports < 2^31 states");
+
+  // Candidate fragment: expanded states where no avoid_set member eats.
+  std::vector<std::int64_t> component(n, kRemoved);
+  std::size_t candidates = 0;
+  for (StateId s = 0; s < n; ++s) {
+    if ((model.eaters(s) & avoid_set) == 0 && !model.frontier(s)) {
+      component[s] = 0;
+      ++candidates;
+    }
+  }
+
+  const unsigned workers = common::effective_threads(options.threads, candidates);
+  if (workers <= 1 || candidates < options.seq_mec_threshold) {
+    return mdp::detail::maximal_end_components_t(model, avoid_set);
+  }
+  obs::Span span("mec.decompose");
+
+  // Refinement fixpoint, as in the sequential decomposition: SCC-split the
+  // partition, drop states with no action closed inside their own block,
+  // repeat until stable. Canonical min-state labels make the cross-round
+  // equality test meaningful.
+  std::vector<std::int64_t> refined(n, kRemoved);
+  std::vector<std::uint8_t> keep(n, 0);
+  while (true) {
+    MecCounters::get().rounds.increment();
+    ParallelScc<ModelT> scc(model, component, options, options.threads);
+    scc.run(refined);
+
+    // Two-phase survival filter, cascaded to its own fixpoint: decide from
+    // the refined snapshot only, then apply, then repeat — one removal can
+    // strand a neighbour's last closed action. Removal order cannot
+    // influence the fixpoint, and cascading here (instead of bouncing back
+    // through a full SCC decomposition per removal wave, as the sequential
+    // code does) keeps the expensive SCC rounds to genuine block splits.
+    while (true) {
+      std::atomic<bool> removed_any{false};
+      common::parallel_for(n, options.threads, [&](std::uint32_t s) {
+        keep[s] = 0;
+        if (component[s] == kRemoved || refined[s] == kRemoved) return;
+        for (int p = 0; p < model.num_phils(); ++p) {
+          const auto [begin, end] = model.row(s, p);
+          if (begin == end) continue;
+          bool inside = true;
+          for (const Outcome* o = begin; o != end && inside; ++o) {
+            inside = refined[o->next] != kRemoved && refined[o->next] == refined[s];
+          }
+          if (inside) {
+            keep[s] = 1;
+            return;
+          }
+        }
+        removed_any.store(true, std::memory_order_relaxed);
+      });
+      if (!removed_any.load(std::memory_order_relaxed)) break;
+      common::parallel_for(n, options.threads, [&](std::uint32_t s) {
+        if (component[s] != kRemoved && refined[s] != kRemoved && !keep[s]) refined[s] = kRemoved;
+      });
+    }
+
+    if (std::equal(component.begin(), component.end(), refined.begin())) break;
+    component.swap(refined);
+  }
+
+  // Collect surviving partitions exactly as the sequential decomposition
+  // does (ascending state scan, first-state-encounter component order), so
+  // the result vectors compare equal element for element.
+  std::vector<std::int64_t> id_remap;
+  std::vector<EndComponent> mecs;
+  for (StateId s = 0; s < n; ++s) {
+    if (component[s] == kRemoved) continue;
+    const auto raw = static_cast<std::size_t>(component[s]);
+    if (raw >= id_remap.size()) id_remap.resize(raw + 1, kRemoved);
+    if (id_remap[raw] == kRemoved) {
+      id_remap[raw] = static_cast<std::int64_t>(mecs.size());
+      mecs.emplace_back();
+    }
+    EndComponent& mec = mecs[static_cast<std::size_t>(id_remap[raw])];
+    mec.states.push_back(s);
+    for (int p = 0; p < model.num_phils(); ++p) {
+      const auto [begin, end] = model.row(s, p);
+      if (begin == end) continue;
+      bool inside = true;
+      for (const Outcome* o = begin; o != end && inside; ++o) {
+        inside = component[o->next] == component[s];
+      }
+      if (inside && p < 64) mec.phil_mask |= (std::uint64_t{1} << p);
+    }
+  }
+  return mecs;
+}
+
+template <class ModelT>
+std::vector<bool> reachable_states_t(const ModelT& model, const CheckOptions& options) {
+  const std::size_t n = model.num_states();
+  const unsigned workers = common::effective_threads(options.threads, n);
+  if (workers <= 1 || n < options.seq_mec_threshold) {
+    return mdp::detail::reachable_states_t(model);
+  }
+
+  // Level-synchronous BFS: each level fans its frontier out over the pool,
+  // claiming discoveries through atomic flags. The claimed *set* is the
+  // reachable set no matter how the claims interleave, and levels join
+  // before the flags are read non-atomically again.
+  std::vector<unsigned char> reached(n, 0);
+  std::vector<StateId> frontier{model.initial()};
+  reached[model.initial()] = 1;
+
+  // Below this, spawn/steal overhead beats the scan.
+  constexpr std::size_t kSeqLevel = 2'048;
+
+  std::vector<StateId> next;
+  while (!frontier.empty()) {
+    next.clear();
+    if (frontier.size() < kSeqLevel) {
+      for (const StateId s : frontier) {
+        for (int p = 0; p < model.num_phils(); ++p) {
+          const auto [begin, end] = model.row(s, p);
+          for (const Outcome* o = begin; o != end; ++o) {
+            if (!reached[o->next]) {
+              reached[o->next] = 1;
+              next.push_back(o->next);
+            }
+          }
+        }
+      }
+    } else {
+      const std::size_t chunks = std::min<std::size_t>(frontier.size() / 512, workers * 4);
+      std::vector<std::vector<StateId>> found(chunks);
+      common::parallel_for(chunks, options.threads, [&](std::uint32_t c) {
+        std::vector<StateId>& mine = found[c];
+        for (std::size_t i = c; i < frontier.size(); i += chunks) {
+          const StateId s = frontier[i];
+          for (int p = 0; p < model.num_phils(); ++p) {
+            const auto [begin, end] = model.row(s, p);
+            for (const Outcome* o = begin; o != end; ++o) {
+              std::atomic_ref<unsigned char> flag(reached[o->next]);
+              if (flag.load(std::memory_order_relaxed) == 0 &&
+                  flag.exchange(1, std::memory_order_relaxed) == 0) {
+                mine.push_back(o->next);
+              }
+            }
+          }
+        }
+      });
+      for (const std::vector<StateId>& mine : found) {
+        next.insert(next.end(), mine.begin(), mine.end());
+      }
+    }
+    frontier.swap(next);
+  }
+  return std::vector<bool>(reached.begin(), reached.end());
+}
+
+template <class ModelT>
+FairProgressResult check_fair_progress_t(const ModelT& model, std::uint64_t set_mask,
+                                         const CheckOptions& options) {
+  return mdp::detail::verdict_from_mecs_t(model, set_mask,
+                                          maximal_end_components_t(model, set_mask, options),
+                                          reachable_states_t(model, options));
+}
+
+}  // namespace gdp::mdp::par::detail

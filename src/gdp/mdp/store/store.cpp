@@ -13,6 +13,8 @@
 
 #include "gdp/common/check.hpp"
 #include "gdp/mdp/level_explore.hpp"
+#include "gdp/mdp/par/end_components_impl.hpp"
+#include "gdp/mdp/quant/quant_impl.hpp"
 #include "gdp/obs/obs.hpp"
 
 namespace gdp::mdp::store {
@@ -31,6 +33,13 @@ struct StoreCounters {
   obs::Counter& fingerprint_checks =
       obs::Registry::global().counter("store.fingerprint_verifications");
   obs::Counter& materializations = obs::Registry::global().counter("store.materializations");
+  /// Timing plane: which chunk faults and which gets evicted depend on the
+  /// interleaving of the parallel kernels' reads — only the verdicts they
+  /// feed are deterministic, not the paging traffic.
+  obs::Counter& chunk_faults =
+      obs::Registry::global().counter("store.chunk_faults", obs::Plane::kTiming);
+  obs::Counter& chunk_evictions =
+      obs::Registry::global().counter("store.chunk_evictions", obs::Plane::kTiming);
   static StoreCounters& get() {
     static StoreCounters instance;
     return instance;
@@ -194,6 +203,94 @@ void Chunk::spill_to(const std::string& path) {
   std::vector<std::uint64_t>().swap(owned_);  // actually free the heap copy
 }
 
+void Chunk::drop_pages() const {
+  if (!file_backed()) return;
+  // A view chunk sits inside a larger checkpoint mapping, so only whole
+  // pages fully inside this payload may be dropped — the edge pages are
+  // shared with the neighboring chunks' payloads (a spilled chunk owns its
+  // whole page-aligned mapping, and the rounding below keeps it intact).
+  const auto page = static_cast<std::uintptr_t>(::sysconf(_SC_PAGESIZE));
+  std::uintptr_t lo = reinterpret_cast<std::uintptr_t>(payload_);
+  std::uintptr_t hi = lo + payload_bytes();
+  lo = (lo + page - 1) & ~(page - 1);
+  hi &= ~(page - 1);
+  if (lo >= hi) return;
+  // On a read-only MAP_PRIVATE file mapping there are no dirty pages to
+  // lose: MADV_DONTNEED just returns the page frames, and the next read
+  // refaults identical bytes from the file. Racing readers stay correct.
+  // gdp-lint: allow(raw-mmap) — residency eviction on map_file's read-only mapping
+  ::madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_DONTNEED);
+}
+
+// ---------------------------------------------------------------------------
+// detail::Residency
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+void Residency::fault(const std::vector<Chunk>& chunks, std::size_t idx) {
+  common::MutexLock lock(mu_);
+  // Raced with another faulting reader: it already paid for this chunk.
+  if (stamps_[idx].load(std::memory_order_relaxed) != 0) return;
+
+  // Heap-owned chunks never page out; stamp them hot once so the fast path
+  // short-circuits forever, without charging them to the budget.
+  if (!chunks[idx].file_backed()) {
+    stamps_[idx].store(++epoch_, std::memory_order_relaxed);
+    return;
+  }
+
+  // Evict min-stamp (least-recently-faulted) victims until the newcomer
+  // fits. The linear scan is fine: faults are rare by design and chunk
+  // counts are thousands, not millions.
+  while (hot_count_ + 1 > budget_ && hot_count_ > 0) {
+    std::size_t victim = stamps_.size();
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < stamps_.size(); ++i) {
+      if (!chunks[i].file_backed()) continue;
+      const std::uint64_t stamp = stamps_[i].load(std::memory_order_relaxed);
+      if (stamp != 0 && stamp < oldest) {
+        oldest = stamp;
+        victim = i;
+      }
+    }
+    if (victim == stamps_.size()) break;  // accounting drift would spin forever
+    stamps_[victim].store(0, std::memory_order_relaxed);
+    chunks[victim].drop_pages();
+    --hot_count_;
+    hot_bytes_ -= chunks[victim].payload_bytes();
+    StoreCounters::get().chunk_evictions.increment();
+  }
+
+  stamps_[idx].store(++epoch_, std::memory_order_relaxed);
+  ++hot_count_;
+  hot_bytes_ += chunks[idx].payload_bytes();
+  if (hot_bytes_ > peak_bytes_) peak_bytes_ = hot_bytes_;
+  StoreCounters::get().chunk_faults.increment();
+}
+
+void Residency::reset_cold(const std::vector<Chunk>& chunks) {
+  common::MutexLock lock(mu_);
+  for (std::size_t i = 0; i < stamps_.size(); ++i) {
+    stamps_[i].store(0, std::memory_order_relaxed);
+    if (chunks[i].file_backed()) chunks[i].drop_pages();
+  }
+  hot_count_ = 0;
+  hot_bytes_ = 0;
+}
+
+std::size_t Residency::hot_bytes() const {
+  common::MutexLock lock(mu_);
+  return hot_bytes_;
+}
+
+std::size_t Residency::peak_bytes() const {
+  common::MutexLock lock(mu_);
+  return peak_bytes_;
+}
+
+}  // namespace detail
+
 // ---------------------------------------------------------------------------
 // ChunkedModel
 // ---------------------------------------------------------------------------
@@ -294,6 +391,10 @@ ChunkedModel ChunkedModel::from_model(const Model& model, const KeyCodec& codec,
     out.chunks_.push_back(Chunk::own(std::move(payload)));
   }
 
+  if (out.options_.max_resident_chunks > 0) {
+    out.residency_ = std::make_unique<detail::Residency>(out.chunks_.size(),
+                                                         out.options_.max_resident_chunks);
+  }
   if (out.options_.spill) out.spill();
   return out;
 }
@@ -342,10 +443,28 @@ std::uint64_t ChunkedModel::fingerprint() const {
 
 std::size_t ChunkedModel::resident_bytes() const {
   std::size_t bytes = 0;
+  if (residency_ != nullptr) {
+    // Budgeted: heap chunks plus whatever file-backed payload is hot.
+    for (const Chunk& c : chunks_) {
+      if (!c.file_backed()) bytes += c.payload_bytes();
+    }
+    return bytes + residency_->hot_bytes();
+  }
+  // Unbounded (historical accounting): everything except spilled chunks —
+  // a fully spilled model reads 0.
   for (const Chunk& c : chunks_) {
-    if (!c.spilled()) bytes += c.payload_words() * sizeof(std::uint64_t);
+    if (!c.spilled()) bytes += c.payload_bytes();
   }
   return bytes;
+}
+
+std::size_t ChunkedModel::peak_resident_bytes() const {
+  if (residency_ == nullptr) return resident_bytes();
+  std::size_t bytes = 0;
+  for (const Chunk& c : chunks_) {
+    if (!c.file_backed()) bytes += c.payload_bytes();
+  }
+  return bytes + residency_->peak_bytes();
 }
 
 std::size_t ChunkedModel::spilled_bytes() const {
@@ -365,6 +484,9 @@ void ChunkedModel::spill() {
     StoreCounters::get().chunks_spilled.increment();
     StoreCounters::get().spill_bytes.add(chunks_[i].payload_words() * sizeof(std::uint64_t));
   }
+  // Everything is file-backed now; start the budget from an all-cold set so
+  // the first sweep's faults are what page the working set in.
+  if (residency_ != nullptr) residency_->reset_cold(chunks_);
 }
 
 Model ChunkedModel::materialize() const {
@@ -421,7 +543,7 @@ void ChunkedModel::save_checkpoint(const std::string& path) const {
 }
 
 ChunkedModel ChunkedModel::load_checkpoint(const algos::Algorithm& algo, const graph::Topology& t,
-                                           const std::string& path) {
+                                           const std::string& path, StoreOptions options) {
   obs::Span span("store.checkpoint_load");
   const auto [addr, bytes] = map_file(path);
   std::shared_ptr<const std::uint64_t> mapping(
@@ -480,6 +602,15 @@ ChunkedModel ChunkedModel::load_checkpoint(const algos::Algorithm& algo, const g
   StoreCounters::get().fingerprint_checks.increment();
   GDP_CHECK_MSG(out.fingerprint() == stored_model_fp,
                 "store: " << path << " fails its model fingerprint (corrupt)");
+  out.options_ = std::move(options);
+  out.options_.chunk_states = out.chunk_states_;  // the file's layout wins
+  if (out.options_.max_resident_chunks > 0) {
+    out.residency_ = std::make_unique<detail::Residency>(out.chunks_.size(),
+                                                         out.options_.max_resident_chunks);
+    // Fingerprint verification touched every page; drop them so the model
+    // starts cold and the budget governs from the first read on.
+    out.residency_->reset_cold(out.chunks_);
+  }
   return out;
 }
 
@@ -489,7 +620,7 @@ ChunkedModel ChunkedModel::load_checkpoint(const algos::Algorithm& algo, const g
 
 ChunkedModel explore(const algos::Algorithm& algo, const graph::Topology& t,
                      StoreOptions store_options, par::CheckOptions options) {
-  detail::LevelExplorer explorer(algo, t);
+  mdp::detail::LevelExplorer explorer(algo, t);
   explorer.run(options.max_states, options.threads);
   const KeyCodec codec = explorer.codec();
   std::vector<PackedKey> keys;
@@ -500,8 +631,12 @@ ChunkedModel explore(const algos::Algorithm& algo, const graph::Topology& t,
 ChunkedModel resume(const algos::Algorithm& algo, const graph::Topology& t,
                     const ChunkedModel& checkpoint, StoreOptions store_options,
                     par::CheckOptions options) {
-  detail::LevelExplorer explorer(algo, t);
-  explorer.restore(checkpoint.materialize(), checkpoint.keys());
+  mdp::detail::LevelExplorer explorer(algo, t);
+  // Chunk-native restore: the explorer re-seeds from per-chunk key runs,
+  // eater masks, frontier bits, and rows through the read API — the
+  // checkpoint is never materialized ("store.materializations" stays 0,
+  // pinned by `ctest -L store`).
+  explorer.restore(checkpoint, checkpoint.keys());
   explorer.run(options.max_states, options.threads);
   const KeyCodec codec = explorer.codec();
   std::vector<PackedKey> keys;
@@ -509,24 +644,30 @@ ChunkedModel resume(const algos::Algorithm& algo, const graph::Topology& t,
   return ChunkedModel::from_model(model, codec, keys, std::move(store_options));
 }
 
+// Chunk-native instantiations of the shared kernel templates (see the
+// header's analysis contract): same definitions as the Model path, so
+// complete models produce byte-identical verdicts at every thread count and
+// truncated models keep the exact refusal semantics — without ever
+// materializing the contiguous CSR.
+
 std::vector<bool> reachable_states(const ChunkedModel& model, par::CheckOptions options) {
-  return par::reachable_states(model.materialize(), options);
+  return par::detail::reachable_states_t(model, options);
 }
 
 std::vector<EndComponent> maximal_end_components(const ChunkedModel& model,
                                                  std::uint64_t avoid_set,
                                                  par::CheckOptions options) {
-  return par::maximal_end_components(model.materialize(), avoid_set, options);
+  return par::detail::maximal_end_components_t(model, avoid_set, options);
 }
 
 FairProgressResult check_fair_progress(const ChunkedModel& model, std::uint64_t set_mask,
                                        par::CheckOptions options) {
-  return par::check_fair_progress(model.materialize(), set_mask, options);
+  return par::detail::check_fair_progress_t(model, set_mask, options);
 }
 
 quant::QuantResult analyze(const ChunkedModel& model, std::uint64_t target_set,
                            quant::QuantOptions options) {
-  return quant::analyze(model.materialize(), target_set, options);
+  return quant::detail::analyze_t(model, target_set, options);
 }
 
 }  // namespace gdp::mdp::store

@@ -17,15 +17,19 @@
 //
 //   * Read API — ChunkedModel mirrors the Model read interface
 //     (num_phils/num_states/eaters/eating/row/frontier/truncated/num_rows),
-//     so analysis code ports by swapping the type; materialize() rebuilds a
-//     validated contiguous Model (the current bridge into the par:: and
-//     quant:: engines, which keep their exact refusal semantics on
-//     truncated models and their byte-identical verdicts on complete ones).
+//     so the par:: and quant:: kernel templates instantiate directly over
+//     it: store::reachable_states / maximal_end_components /
+//     check_fair_progress / analyze and store::resume run chunk-native,
+//     without materializing. materialize() still rebuilds a validated
+//     contiguous Model for callers that want one.
 //
 //   * Spill — spill() writes each chunk payload to its own file in
 //     StoreOptions::dir and remaps it read-only (mmap), dropping the heap
 //     copy; reads fault pages back in on demand. Fingerprints make silent
-//     on-disk corruption a refusal instead of a wrong verdict.
+//     on-disk corruption a refusal instead of a wrong verdict. With
+//     StoreOptions::max_resident_chunks set, an LRU residency manager
+//     bounds how many file-backed chunks stay paged in at once (see
+//     detail::Residency).
 //
 //   * Cap-as-checkpoint — the level-synchronous explorers leave a capped
 //     model with its unexpanded frontier as the id tail, so a capped run
@@ -39,6 +43,7 @@
 // and struct layout), not a portable interchange format.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -46,6 +51,7 @@
 #include <utility>
 #include <vector>
 
+#include "gdp/common/thread_annotations.hpp"
 #include "gdp/mdp/key.hpp"
 #include "gdp/mdp/model.hpp"
 #include "gdp/mdp/par/par.hpp"
@@ -67,6 +73,17 @@ struct StoreOptions {
   /// with a process-unique sequence number, so live mappings are never
   /// clobbered by a later model's spill.
   std::string dir;
+
+  /// Residency budget over the FILE-BACKED chunks (spilled or
+  /// checkpoint-loaded), in chunks; 0 means unbounded (every faulted page
+  /// stays until the mapping dies — the historical behavior). With a
+  /// budget, read-API access pages a cold chunk in ("store.chunk_faults")
+  /// and evicts the least-recently-touched hot chunks beyond the budget
+  /// ("store.chunk_evictions") by dropping their pages back to the file.
+  /// Eviction never invalidates pointers: rows held across an eviction
+  /// simply refault from the file, so the parallel kernels need no hooks.
+  /// Heap-resident chunks are exempt (there is no file to drop to).
+  std::size_t max_resident_chunks = 0;
 };
 
 /// One fixed-size chunk: a flat 64-bit payload, either heap-owned
@@ -110,9 +127,20 @@ class Chunk {
   /// and save_checkpoint() serializes.
   const std::uint64_t* payload() const { return payload_; }
   std::size_t payload_words() const { return payload_words_; }
+  std::size_t payload_bytes() const { return payload_words_ * sizeof(std::uint64_t); }
   std::uint64_t fingerprint() const;
 
   bool spilled() const { return owned_.empty() && mapped_ != nullptr; }
+  /// Backed by a read-only file mapping rather than the heap: spilled, or a
+  /// view into a checkpoint mapping. Only file-backed chunks participate in
+  /// the StoreOptions::max_resident_chunks budget — their pages can be
+  /// dropped and refaulted from the file at any time.
+  bool file_backed() const { return owned_.empty() && payload_ != nullptr; }
+  /// Returns the payload pages to the kernel (madvise(MADV_DONTNEED) on the
+  /// page-aligned interior); the next access refaults them from the file.
+  /// No-op on heap-owned chunks. The payload pointer stays valid — readers
+  /// racing an eviction see identical bytes, just slower.
+  void drop_pages() const;
   /// Writes the payload to `path`, remaps it read-only, drops the heap copy.
   void spill_to(const std::string& path);
 
@@ -131,6 +159,60 @@ class Chunk {
   void* mapped_ = nullptr;  // non-null iff this chunk owns an mmap
   std::size_t mapped_bytes_ = 0;
 };
+
+namespace detail {
+
+/// Bounded-resident chunk manager: a pseudo-LRU over the file-backed
+/// chunks, keyed by an epoch stamp per chunk (0 = cold / pages dropped,
+/// otherwise the epoch of the last *fault* that found it cold). The hot
+/// path — touching an already-hot chunk — is two relaxed atomic ops and
+/// never takes the lock; the fault path is mutex-serialized and evicts
+/// min-stamp victims until the hot set fits the budget again.
+///
+/// The stamp is deliberately NOT refreshed on every touch: a strict-LRU
+/// stamp-per-read would put a contended store on every row() call. Fault
+/// order is a good-enough recency signal for the streaming sweeps the
+/// verdict kernels run, and it keeps the fast path read-mostly.
+///
+/// The manager never owns the chunks — every call takes the chunk vector by
+/// reference, so a moved-from ChunkedModel leaves no dangling pointer here.
+class Residency {
+ public:
+  Residency(std::size_t num_chunks, std::size_t budget)
+      : budget_(budget == 0 ? 1 : budget), stamps_(num_chunks) {}
+
+  Residency(const Residency&) = delete;
+  Residency& operator=(const Residency&) = delete;
+
+  /// Marks chunk `idx` used; pages it in (and evicts) if cold.
+  void touch(const std::vector<Chunk>& chunks, std::size_t idx) {
+    if (stamps_[idx].load(std::memory_order_relaxed) != 0) return;
+    fault(chunks, idx);
+  }
+
+  /// Drops every file-backed chunk's pages and zeroes the accounting —
+  /// the post-spill / post-load starting state.
+  void reset_cold(const std::vector<Chunk>& chunks);
+
+  /// Bytes of currently-hot file-backed payloads, and the high-water mark.
+  std::size_t hot_bytes() const;
+  std::size_t peak_bytes() const;
+
+ private:
+  void fault(const std::vector<Chunk>& chunks, std::size_t idx);
+
+  const std::size_t budget_;  // max hot file-backed chunks, >= 1
+  /// Per-chunk last-fault epoch; 0 = cold. Relaxed: the stamp orders
+  /// nothing — correctness never depends on it (an evicted chunk refaults).
+  std::vector<std::atomic<std::uint64_t>> stamps_;
+  mutable common::Mutex mu_;
+  std::uint64_t epoch_ GDP_GUARDED_BY(mu_) = 0;
+  std::size_t hot_count_ GDP_GUARDED_BY(mu_) = 0;
+  std::size_t hot_bytes_ GDP_GUARDED_BY(mu_) = 0;
+  std::size_t peak_bytes_ GDP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace detail
 
 /// A model as a sequence of chunks. Mirrors the Model read API; see the
 /// header comment for the spill and checkpoint contracts. Move-only.
@@ -181,7 +263,14 @@ class ChunkedModel {
   /// whether the model ever hit a cap along the way.
   std::uint64_t fingerprint() const;
 
+  /// Bytes of chunk payload currently resident: heap-owned chunks plus —
+  /// under a max_resident_chunks budget — the hot file-backed set; without
+  /// a budget, every non-spilled payload (the historical accounting, where
+  /// a fully spilled model reads 0).
   std::size_t resident_bytes() const;
+  /// High-water mark of the budget-managed hot set (resident_bytes() when
+  /// no budget is active) — what the `ctest -L store` residency pin reads.
+  std::size_t peak_resident_bytes() const;
   std::size_t spilled_bytes() const;
 
   /// Spills every resident chunk to options.dir (see Chunk::spill_to).
@@ -197,13 +286,20 @@ class ChunkedModel {
   /// Maps `path` read-only and verifies the header against (algo, t) and
   /// every fingerprint against the payloads; throws PreconditionError on
   /// any mismatch (corruption refusal). Chunks view the mapping zero-copy.
+  /// `options.chunk_states` comes from the file; `options.dir` and
+  /// `options.max_resident_chunks` apply to the loaded model (the latter
+  /// starts it cold — verification pages are dropped before returning).
   static ChunkedModel load_checkpoint(const algos::Algorithm& algo, const graph::Topology& t,
-                                      const std::string& path);
+                                      const std::string& path, StoreOptions options = {});
 
  private:
   ChunkedModel() = default;
 
-  const Chunk& chunk_of(StateId s) const { return chunks_[s / chunk_states_]; }
+  const Chunk& chunk_of(StateId s) const {
+    const std::size_t i = s / chunk_states_;
+    if (residency_ != nullptr) residency_->touch(chunks_, i);
+    return chunks_[i];
+  }
   std::size_t local_of(StateId s) const { return s % chunk_states_; }
 
   int num_phils_ = 0;
@@ -217,6 +313,8 @@ class ChunkedModel {
   std::uint64_t spill_seq_ = 0;
   /// Checkpoint file mapping backing view chunks; the deleter unmaps.
   std::shared_ptr<const std::uint64_t> file_map_;
+  /// Present iff options_.max_resident_chunks > 0 (see detail::Residency).
+  std::unique_ptr<detail::Residency> residency_;
 };
 
 /// Level-synchronous exploration straight into a chunked store (the same
@@ -235,11 +333,15 @@ ChunkedModel resume(const algos::Algorithm& algo, const graph::Topology& t,
 
 // --- analysis over chunked models ---
 //
-// The current bridge materializes once per call and delegates to the
-// parallel engines, so truncated chunked models keep the exact refusal
-// semantics (kUnknownTruncated / Certainty::kTruncated) and complete ones
-// produce byte-identical verdicts to the contiguous path. Out-of-core
-// analysis that walks chunks directly is ROADMAP work.
+// Chunk-native: each call instantiates the par:: / quant:: kernel templates
+// directly over the ChunkedModel read API — the model is NEVER materialized
+// ("store.materializations" stays 0 across these paths). Because the
+// instantiations share one definition with the contiguous path, complete
+// models produce byte-identical verdicts and intervals at every thread
+// count, and truncated models keep the exact refusal semantics
+// (kUnknownTruncated / Certainty::kTruncated). Under a
+// max_resident_chunks budget the kernels page chunks in and out as they
+// sweep; verdicts are unaffected (eviction only drops clean pages).
 
 std::vector<bool> reachable_states(const ChunkedModel& model, par::CheckOptions options = {});
 

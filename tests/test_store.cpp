@@ -6,12 +6,21 @@
 // must produce the SAME chunking-independent fingerprint as the one-shot
 // run — a capped run is a checkpoint, never a dead end.
 //
+// The chunk-native verdict matrix is the other load-bearing suite: the
+// par:: / quant:: kernels instantiated over ChunkedModel must match the
+// materialized path bit for bit (and never materialize — the
+// "store.materializations" counter is pinned at 0 across the verdict and
+// resume paths).
+//
 // Set GDP_TEST_FORCE_SPILL=1 to run every store built here with spill
 // enabled (tiny chunks, file-backed reads); the CI store-spill job does
 // this under ASan so mapping lifetimes and chunk seams get sanitized.
+// GDP_TEST_CHUNK_STATES / GDP_TEST_MAX_RESIDENT_CHUNKS additionally shrink
+// the chunks and bound the resident set (the CI bounded-resident pass).
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -24,6 +33,7 @@
 #include "gdp/algos/algorithm.hpp"
 #include "gdp/graph/builders.hpp"
 #include "gdp/mdp/store/store.hpp"
+#include "gdp/obs/obs.hpp"
 
 namespace gdp::mdp::store {
 namespace {
@@ -31,6 +41,27 @@ namespace {
 bool force_spill() {
   const char* v = std::getenv("GDP_TEST_FORCE_SPILL");
   return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+/// Metric recording on for one scope (counter pins need obs enabled; the
+/// suite normally runs without GDP_OBS).
+class ScopedObs {
+ public:
+  ScopedObs() : prev_(obs::enabled()) { obs::set_enabled(true); }
+  ~ScopedObs() { obs::set_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+obs::Counter& materializations_counter() {
+  return obs::Registry::global().counter("store.materializations");
 }
 
 /// A fresh per-test scratch directory under gtest's temp root, removed on
@@ -56,11 +87,15 @@ class ScratchDir {
 
 /// Store options for this suite: small chunks so even the small matrix
 /// models cross several chunk seams, spill forced via the env knob.
+/// GDP_TEST_CHUNK_STATES and GDP_TEST_MAX_RESIDENT_CHUNKS override the
+/// chunk size and residency budget suite-wide — the CI bounded-resident
+/// spill pass uses them to run every store test under a tight LRU budget.
 StoreOptions suite_options(const ScratchDir& scratch, std::size_t chunk_states = 1'024) {
   StoreOptions options;
-  options.chunk_states = chunk_states;
+  options.chunk_states = env_size("GDP_TEST_CHUNK_STATES", chunk_states);
   options.spill = force_spill();
   options.dir = scratch.dir();
+  options.max_resident_chunks = env_size("GDP_TEST_MAX_RESIDENT_CHUNKS", 0);
   return options;
 }
 
@@ -175,11 +210,13 @@ TEST(Store, FingerprintIsChunkingIndependent) {
   const Model model = base.materialize();
   std::uint64_t fp = 0;
   for (std::size_t chunk_states : {std::size_t{64}, std::size_t{1'000}, std::size_t{1} << 15}) {
+    // suite_options may override the size (GDP_TEST_CHUNK_STATES); geometry
+    // expectations use whatever size actually applied.
+    const StoreOptions options = suite_options(scratch, chunk_states);
     const ChunkedModel rechunked =
-        ChunkedModel::from_model(model, base.codec(), base.keys(),
-                                 suite_options(scratch, chunk_states));
+        ChunkedModel::from_model(model, base.codec(), base.keys(), options);
     EXPECT_EQ(rechunked.num_chunks(),
-              (model.num_states() + chunk_states - 1) / chunk_states);
+              (model.num_states() + options.chunk_states - 1) / options.chunk_states);
     if (fp == 0) fp = rechunked.fingerprint();
     EXPECT_EQ(rechunked.fingerprint(), fp) << "chunk_states=" << chunk_states;
   }
@@ -346,13 +383,163 @@ TEST(Store, TruncatedModelsKeepRefusalSemantics) {
   EXPECT_EQ(quant_store.p_min, quant::analyze(model).p_min);
 }
 
+// --- chunk-native verdicts -------------------------------------------------
+
+struct VerdictCombo {
+  const char* algo;
+  graph::Topology topology;
+  std::size_t cap;  // exploration cap; the chord instances truncate at it
+};
+
+// Complete instances (ring/parallel) pin byte-identical verdicts and
+// intervals against the materialized path; the chord instances truncate at
+// the cap and pin the refusal semantics instead — both through the same
+// chunk-native kernels, at every thread count.
+std::vector<VerdictCombo> verdict_matrix() {
+  return {
+      {"lr2", graph::classic_ring(3), 2'000'000},
+      {"lr2", graph::ring_with_chord(4), 10'000},
+      {"lr2", graph::parallel_arcs(3), 2'000'000},
+      {"gdp2", graph::classic_ring(3), 30'000},
+      {"gdp2", graph::ring_with_chord(4), 10'000},
+      {"gdp2", graph::parallel_arcs(3), 2'000'000},
+  };
+}
+
+TEST(Store, ChunkNativeVerdictsMatchMaterializedPath) {
+  const ScopedObs obs_on;
+  const ScratchDir scratch("verdicts");
+  for (const VerdictCombo& combo : verdict_matrix()) {
+    const auto algo = algos::make_algorithm(combo.algo);
+    for (int threads : thread_counts()) {
+      SCOPED_TRACE(std::string(combo.algo) + " on " + combo.topology.name() +
+                   " at threads=" + std::to_string(threads));
+      par::CheckOptions opts;
+      opts.threads = threads;
+      opts.max_states = combo.cap;
+
+      ChunkedModel chunked = explore(*algo, combo.topology, suite_options(scratch, 512), opts);
+      if (force_spill()) chunked.spill();
+      // The materialized reference comes FIRST, so the counter snapshot
+      // below proves the chunk-native calls never materialize on their own.
+      const Model model = chunked.materialize();
+      const std::uint64_t mats_before = materializations_counter().value();
+
+      const auto fair_store = check_fair_progress(chunked, ~std::uint64_t{0}, opts);
+      const auto fair_direct = par::check_fair_progress(model, ~std::uint64_t{0}, opts);
+      EXPECT_EQ(fair_store.verdict, fair_direct.verdict);
+      EXPECT_EQ(fair_store.num_mecs, fair_direct.num_mecs);
+      EXPECT_EQ(fair_store.num_fair_mecs, fair_direct.num_fair_mecs);
+      EXPECT_EQ(fair_store.witness_size, fair_direct.witness_size);
+      EXPECT_EQ(fair_store.witness_state, fair_direct.witness_state);
+
+      quant::QuantOptions qopts;
+      qopts.threads = threads;
+      const auto quant_store = analyze(chunked, ~std::uint64_t{0}, qopts);
+      const auto quant_direct = quant::analyze(model, ~std::uint64_t{0}, qopts);
+      EXPECT_EQ(quant_store.certainty, quant_direct.certainty);
+      EXPECT_EQ(quant_store.p_min, quant_direct.p_min);
+      EXPECT_EQ(quant_store.p_max, quant_direct.p_max);
+      EXPECT_EQ(quant_store.p_trap, quant_direct.p_trap);
+      EXPECT_EQ(quant_store.e_min, quant_direct.e_min);
+      EXPECT_EQ(quant_store.e_max, quant_direct.e_max);
+      EXPECT_EQ(quant_store.sweeps, quant_direct.sweeps);
+      if (chunked.truncated()) {
+        EXPECT_EQ(quant_store.certainty, quant::Certainty::kTruncated);
+      }
+
+      EXPECT_EQ(materializations_counter().value(), mats_before)
+          << "the chunk-native verdict path must not materialize";
+    }
+  }
+}
+
+TEST(Store, ResumeDoesNotMaterialize) {
+  const ScopedObs obs_on;
+  const ScratchDir scratch("resume_native");
+  const auto algo = algos::make_algorithm("lr2");
+  const auto t = graph::classic_ring(3);
+
+  par::CheckOptions capped;
+  capped.max_states = 2'000;
+  const ChunkedModel checkpoint = explore(*algo, t, suite_options(scratch, 512), capped);
+  ASSERT_TRUE(checkpoint.truncated());
+  const std::string path = scratch.path("ckpt.gdpstore");
+  checkpoint.save_checkpoint(path);
+  const ChunkedModel loaded = ChunkedModel::load_checkpoint(*algo, t, path);
+
+  const ChunkedModel one_shot = explore(*algo, t, suite_options(scratch, 512));
+  const std::uint64_t mats_before = materializations_counter().value();
+  const ChunkedModel resumed = resume(*algo, t, loaded, suite_options(scratch, 512));
+  EXPECT_EQ(materializations_counter().value(), mats_before)
+      << "resume must seed the explorer from chunk reads, not a materialized model";
+  EXPECT_EQ(resumed.fingerprint(), one_shot.fingerprint());
+  EXPECT_FALSE(resumed.truncated());
+}
+
+// --- bounded residency -----------------------------------------------------
+
+TEST(Store, BoundedResidencyCapsResidentSetWithoutChangingVerdicts) {
+  const ScopedObs obs_on;
+  const ScratchDir scratch("residency");
+  const auto algo = algos::make_algorithm("gdp2");
+  const auto t = graph::parallel_arcs(3);
+  const std::size_t budget = 2;
+
+  StoreOptions bounded_opts;
+  bounded_opts.chunk_states = 256;  // 6.5k states -> ~26 chunks, real paging
+  bounded_opts.spill = true;
+  bounded_opts.dir = scratch.dir();
+  bounded_opts.max_resident_chunks = budget;
+  ChunkedModel bounded = explore(*algo, t, bounded_opts);
+  ASSERT_GT(bounded.num_chunks(), budget * 2);
+  // Spilled under a budget: everything starts cold.
+  EXPECT_EQ(bounded.resident_bytes(), 0u);
+
+  obs::Counter& faults = obs::Registry::global().counter("store.chunk_faults", obs::Plane::kTiming);
+  obs::Counter& evictions =
+      obs::Registry::global().counter("store.chunk_evictions", obs::Plane::kTiming);
+  const std::uint64_t faults_before = faults.value();
+  const std::uint64_t evictions_before = evictions.value();
+
+  const auto fair_bounded = check_fair_progress(bounded);
+  const auto quant_bounded = analyze(bounded);
+
+  // A full sweep over ~26 chunks through a 2-chunk window must page.
+  EXPECT_GT(faults.value(), faults_before);
+  EXPECT_GT(evictions.value(), evictions_before);
+
+  // The hot set never exceeded the budget (in chunks, so in bytes too).
+  std::size_t max_chunk_bytes = 0;
+  for (std::size_t i = 0; i < bounded.num_chunks(); ++i) {
+    max_chunk_bytes = std::max(max_chunk_bytes, bounded.chunk(i).payload_bytes());
+  }
+  EXPECT_LE(bounded.peak_resident_bytes(), budget * max_chunk_bytes);
+  EXPECT_LE(bounded.resident_bytes(), budget * max_chunk_bytes);
+
+  // Eviction is invisible to the verdicts: same results as unbounded.
+  StoreOptions unbounded_opts = bounded_opts;
+  unbounded_opts.max_resident_chunks = 0;
+  const ChunkedModel unbounded = explore(*algo, t, unbounded_opts);
+  const auto fair_ref = check_fair_progress(unbounded);
+  EXPECT_EQ(fair_bounded.verdict, fair_ref.verdict);
+  EXPECT_EQ(fair_bounded.num_mecs, fair_ref.num_mecs);
+  EXPECT_EQ(fair_bounded.witness_size, fair_ref.witness_size);
+  const auto quant_ref = analyze(unbounded);
+  EXPECT_EQ(quant_bounded.certainty, quant_ref.certainty);
+  EXPECT_EQ(quant_bounded.p_min, quant_ref.p_min);
+  EXPECT_EQ(quant_bounded.p_max, quant_ref.p_max);
+  EXPECT_EQ(quant_bounded.e_min, quant_ref.e_min);
+  EXPECT_EQ(quant_bounded.e_max, quant_ref.e_max);
+}
+
 // --- chunk geometry --------------------------------------------------------
 
 TEST(Store, ChunkSeamsCoverEveryState) {
   const ScratchDir scratch("seams");
   const auto algo = algos::make_algorithm("gdp2");
   const auto t = graph::parallel_arcs(3);
-  const std::size_t chunk_states = 64;
+  const std::size_t chunk_states = env_size("GDP_TEST_CHUNK_STATES", 64);
   const ChunkedModel chunked = explore(*algo, t, suite_options(scratch, chunk_states));
   const Model model = chunked.materialize();
 

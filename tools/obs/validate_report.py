@@ -12,7 +12,13 @@ Checks, for each file given on the command line:
   * spans carry integer "count" / "total_ns";
   * every metric table is emitted in sorted key order (the registry is an
     ordered map — out-of-order keys mean the emitter changed and diffs of
-    the deterministic plane would churn).
+    the deterministic plane would churn);
+  * known store.* counters sit on their contracted plane: the paging
+    traffic (store.chunk_faults / store.chunk_evictions) is scheduling-
+    dependent and must stay on the timing plane, while the chunk-shape and
+    spill/checkpoint counters are pure functions of the call sequence and
+    must stay deterministic — a counter drifting planes would silently
+    break the deterministic fingerprint's run-to-run stability.
 
 Exit status: 0 when every file validates, 1 otherwise. Stdlib only — this
 runs in the bench-smoke CI step with no third-party packages.
@@ -24,6 +30,23 @@ import json
 import sys
 
 SCHEMA_VERSION = 1
+
+# Contracted plane placement for the store's counters (store.cpp's
+# StoreCounters). Paging traffic depends on the interleaving of the
+# parallel kernels' reads; everything else is deterministic.
+TIMING_ONLY_COUNTERS = frozenset({
+    "store.chunk_faults",
+    "store.chunk_evictions",
+})
+DETERMINISTIC_ONLY_COUNTERS = frozenset({
+    "store.chunks_written",
+    "store.chunk_bytes",
+    "store.chunks_spilled",
+    "store.spill_bytes",
+    "store.chunks_loaded",
+    "store.fingerprint_verifications",
+    "store.materializations",
+})
 
 
 def _fail(errors: list[str], where: str, message: str) -> None:
@@ -116,6 +139,17 @@ def validate(report: object) -> list[str]:
     else:
         _check_metric_table(errors, "timing.counters", timing.get("counters"))
         _check_spans(errors, "timing.spans", timing.get("spans"))
+
+    det_counters = det.get("counters") if isinstance(det, dict) else None
+    timing_counters = timing.get("counters") if isinstance(timing, dict) else None
+    if isinstance(det_counters, dict):
+        for name in sorted(TIMING_ONLY_COUNTERS & det_counters.keys()):
+            _fail(errors, f"deterministic.counters.{name}",
+                  "is scheduling-dependent and belongs on the timing plane")
+    if isinstance(timing_counters, dict):
+        for name in sorted(DETERMINISTIC_ONLY_COUNTERS & timing_counters.keys()):
+            _fail(errors, f"timing.counters.{name}",
+                  "is deterministic and must not sit on the timing plane")
     return errors
 
 
