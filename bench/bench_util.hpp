@@ -10,6 +10,7 @@
 #include "gdp/algos/algorithm.hpp"
 #include "gdp/graph/topology.hpp"
 #include "gdp/obs/obs.hpp"
+#include "gdp/obs/timeline.hpp"
 #include "gdp/rng/rng.hpp"
 #include "gdp/sim/engine.hpp"
 #include "gdp/sim/schedulers/basic.hpp"
@@ -49,15 +50,28 @@ inline void enable_obs() {
 
 /// Snapshots the obs registry into BENCH_<name>.json (the versioned
 /// obs::report_json schema) in the working directory and announces the
-/// path. Every bench main calls this once on exit. No-op when obs is off.
+/// path; when the timeline plane is on (GDP_OBS_TIMELINE), also drains the
+/// event rings into TRACE_<name>.json (Chrome trace-event format, loadable
+/// in Perfetto — validated by tools/obs/summarize_trace.py). Every bench
+/// main calls this once on exit. The two planes gate independently: either
+/// file is written iff its plane is enabled.
 inline void write_bench_report(const std::string& name,
                                std::vector<std::pair<std::string, std::string>> meta = {}) {
-  if (!obs::enabled()) return;
-  const std::string path = "BENCH_" + name + ".json";
-  if (obs::write_report(path, name, meta)) {
-    std::printf("report: %s (gdp_obs_schema %d)\n", path.c_str(), obs::kReportSchema);
-  } else {
-    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  if (obs::enabled()) {
+    const std::string path = "BENCH_" + name + ".json";
+    if (obs::write_report(path, name, meta)) {
+      std::printf("report: %s (gdp_obs_schema %d)\n", path.c_str(), obs::kReportSchema);
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    }
+  }
+  if (obs::timeline::enabled()) {
+    const std::string trace_path = "TRACE_" + name + ".json";
+    if (obs::timeline::write_trace(trace_path, name)) {
+      std::printf("trace: %s (chrome trace-event json)\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", trace_path.c_str());
+    }
   }
 }
 

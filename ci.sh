@@ -9,7 +9,11 @@
 #        ./ci.sh bench-smoke       — build bench_thm2_theta, run its store
 #                                    section with GDP_OBS=1 and validate the
 #                                    emitted BENCH_thm2_theta.json against
-#                                    the obs run-report schema.
+#                                    the obs run-report schema; then rerun it
+#                                    with the timeline plane and heartbeats on
+#                                    (GDP_OBS_TIMELINE / GDP_OBS_PROGRESS) and
+#                                    validate TRACE_thm2_theta.json plus the
+#                                    stderr heartbeat stream.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -54,6 +58,14 @@ if [[ "${1:-}" == "bench-smoke" ]]; then
   ( cd build/bench-smoke/bench && GDP_OBS=1 ./bench_thm2_theta 0 d )
   echo "=== bench-smoke: validate the run report against the obs schema ==="
   python3 tools/obs/validate_report.py build/bench-smoke/bench/BENCH_thm2_theta.json
+  echo "=== bench-smoke: rerun with the timeline plane + 50ms heartbeats ==="
+  ( cd build/bench-smoke/bench && \
+    GDP_OBS=1 GDP_OBS_TIMELINE=1 GDP_OBS_PROGRESS=50 ./bench_thm2_theta 0 d \
+      2> obs_heartbeats.ndjson )
+  echo "=== bench-smoke: require at least one heartbeat line ==="
+  grep -c '"gdp_obs_heartbeat"' build/bench-smoke/bench/obs_heartbeats.ndjson
+  echo "=== bench-smoke: validate + summarize the trace ==="
+  python3 tools/obs/summarize_trace.py build/bench-smoke/bench/TRACE_thm2_theta.json
   echo "=== bench-smoke green ==="
   exit 0
 fi

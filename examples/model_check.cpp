@@ -15,6 +15,7 @@
 #include "gdp/mdp/par/par.hpp"
 #include "gdp/mdp/quant/quant.hpp"
 #include "gdp/obs/obs.hpp"
+#include "gdp/obs/timeline.hpp"
 #include "gdp/sim/engine.hpp"
 
 using namespace gdp;
@@ -132,8 +133,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  // GDP_OBS=1 in the environment adds a run report; with obs off (the
-  // default, and what the golden-output CI diff runs) stdout is unchanged.
+  // GDP_OBS=1 in the environment adds a run report and GDP_OBS_TIMELINE=1 a
+  // Chrome trace-event timeline; with both off (the default, and what the
+  // golden-output CI diff runs) stdout is unchanged.
   if (obs::enabled()) {
     const std::string path = "BENCH_model_check.json";
     if (obs::write_report(path, "model_check",
@@ -141,6 +143,14 @@ int main(int argc, char** argv) {
       std::printf("\nreport: %s (gdp_obs_schema %d)\n", path.c_str(), obs::kReportSchema);
     } else {
       std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    }
+  }
+  if (obs::timeline::enabled()) {
+    const std::string trace_path = "TRACE_model_check.json";
+    if (obs::timeline::write_trace(trace_path, "model_check")) {
+      std::printf("\ntrace: %s (chrome trace-event json)\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", trace_path.c_str());
     }
   }
   return 0;

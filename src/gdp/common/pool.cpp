@@ -9,6 +9,7 @@
 #include "gdp/common/check.hpp"
 #include "gdp/common/thread_annotations.hpp"
 #include "gdp/obs/obs.hpp"
+#include "gdp/obs/timeline.hpp"
 
 namespace gdp::common {
 
@@ -81,10 +82,16 @@ void parallel_for(std::size_t total, int threads, const std::function<void(std::
   static obs::Counter& steals =
       obs::Registry::global().counter("pool.steals", obs::Plane::kTiming);
   run_workers(n, [&](unsigned me) {
+    // One timeline slice per worker ("pool.worker" on the worker's own
+    // track), with a steal instant per successful steal and a running
+    // tasks-run counter sample at each steal and at exit.
+    obs::timeline::ScopedSlice worker_slice("pool.worker");
+    std::uint64_t ran = 0;
     try {
       while (!abort.load(std::memory_order_relaxed)) {
         if (const auto id = shards[me].pop_front()) {
           fn(*id);
+          ++ran;
           continue;
         }
         // Own shard drained: steal the back half of the fullest victim into
@@ -102,6 +109,8 @@ void parallel_for(std::size_t total, int threads, const std::function<void(std::
         if (victim == n) break;  // everything claimed everywhere
         if (const auto stolen = shards[victim].steal_half()) {
           steals.increment();
+          obs::timeline::instant("pool.steal");
+          obs::timeline::counter_sample("pool.tasks_run", static_cast<double>(ran));
           shards[me].reset(stolen->first, stolen->second);
         }
       }
@@ -109,6 +118,7 @@ void parallel_for(std::size_t total, int threads, const std::function<void(std::
       abort.store(true, std::memory_order_relaxed);
       throw;  // run_workers records and rethrows the first one
     }
+    obs::timeline::counter_sample("pool.tasks_run", static_cast<double>(ran));
   });
 }
 

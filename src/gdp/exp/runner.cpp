@@ -6,6 +6,7 @@
 #include "gdp/common/pool.hpp"
 #include "gdp/exp/seeding.hpp"
 #include "gdp/obs/obs.hpp"
+#include "gdp/obs/timeline.hpp"
 #include "gdp/rng/rng.hpp"
 
 namespace gdp::exp {
@@ -45,7 +46,7 @@ Runner::Runner(RunnerOptions options) : options_(options) {
 
 CampaignResult Runner::run(const CampaignSpec& spec) const {
   validate(spec);
-  obs::Span span("exp.campaign");
+  obs::TimedSpan span("exp.campaign");
 
   const std::vector<Cell> grid = cells(spec);
   const auto trials = static_cast<std::size_t>(spec.trials);
@@ -82,6 +83,11 @@ CampaignResult Runner::run(const CampaignSpec& spec) const {
   common::parallel_for(total, options_.threads, [&](std::uint32_t id) {
     const std::size_t c = id / trials;
     const int trial = static_cast<int>(id % trials);
+    // One timeline slice per trial on the executing worker's track; a cell
+    // shows up as a run of equal-length slices. The name is a literal (the
+    // ring stores pointers) and the cell id rides along as a counter lane.
+    obs::timeline::ScopedSlice trial_slice("exp.trial");
+    obs::timeline::counter_sample("exp.cell", static_cast<double>(c));
     outcomes[id] = execute_trial(spec, plans[c], trial);
   });
 

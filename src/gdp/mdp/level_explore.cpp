@@ -3,6 +3,7 @@
 #include "gdp/common/check.hpp"
 #include "gdp/common/pool.hpp"
 #include "gdp/obs/obs.hpp"
+#include "gdp/obs/timeline.hpp"
 #include "gdp/sim/state.hpp"
 #include "gdp/sim/step.hpp"
 
@@ -61,9 +62,7 @@ void LevelExplorer::run(std::size_t max_states, int threads) {
   static obs::Counter& truncations_ctr = obs::Registry::global().counter("explore.truncations");
   static obs::Histogram& level_states = obs::Registry::global().histogram("explore.level_states");
   static obs::Gauge& intern_bytes = obs::Registry::global().gauge("explore.intern_bytes_peak");
-  obs::Span run_span("explore.run");
-  const std::size_t edges_before = outcomes_.size();
-  const std::size_t states_before = num_expanded_;
+  obs::TimedSpan run_span("explore.run");
 
   std::vector<Expansion> level;
   PackedKey scratch;
@@ -78,7 +77,8 @@ void LevelExplorer::run(std::size_t max_states, int threads) {
     }
     const std::size_t begin = num_expanded_;
     const std::size_t count = keys_.size() - begin;
-    obs::Span level_span("explore.level");
+    const std::size_t level_edges_before = outcomes_.size();
+    obs::TimedSpan level_span("explore.level");
 
     // Parallel phase: expand each state of the level into its own buffer.
     // Workers read shared immutable state and write only their task's slot.
@@ -116,12 +116,17 @@ void LevelExplorer::run(std::size_t max_states, int threads) {
       }
     }
     levels_ctr.increment();
+    // Per-level deltas (not one end-of-run add) so a GDP_OBS_PROGRESS
+    // heartbeat sees totals grow level by level. The deltas sum to the same
+    // run totals, so the deterministic plane is unchanged.
+    states_ctr.add(count);
+    edges_ctr.add(outcomes_.size() - level_edges_before);
     level_states.record(count);
     num_expanded_ = begin + count;
+    obs::timeline::counter_sample("explore.states", static_cast<double>(num_expanded_));
+    obs::timeline::counter_sample("explore.edges", static_cast<double>(outcomes_.size()));
   }
 
-  states_ctr.add(num_expanded_ - states_before);
-  edges_ctr.add(outcomes_.size() - edges_before);
   // Interner footprint: id-ordered keys plus the hash index over them.
   intern_bytes.set_max(keys_.size() * kw * sizeof(std::uint64_t) * 2);
 }

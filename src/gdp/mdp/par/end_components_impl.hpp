@@ -37,6 +37,7 @@
 #include "gdp/mdp/fair_progress_impl.hpp"
 #include "gdp/mdp/par/par.hpp"
 #include "gdp/obs/obs.hpp"
+#include "gdp/obs/timeline.hpp"
 
 namespace gdp::mdp::par::detail {
 
@@ -339,17 +340,25 @@ class ParallelScc {
     MecCounters& ctr = MecCounters::get();
     const std::size_t before_trim = r.states.size();
     trim(r);
-    ctr.trimmed.add(before_trim - r.states.size());
+    const std::size_t trimmed = before_trim - r.states.size();
+    ctr.trimmed.add(trimmed);
+    if (trimmed > 0) {
+      obs::timeline::counter_sample("mec.trimmed_states", static_cast<double>(trimmed));
+    }
     if (r.states.empty()) return;
     if (r.states.size() <= options_.seq_scc_region || r.ineffective_splits >= 2) {
       ctr.tarjan_regions.increment();
       // An escape is a region *above* the size threshold bailed to Tarjan
       // because FW-BW stopped making progress on it.
-      if (r.states.size() > options_.seq_scc_region) ctr.tarjan_escapes.increment();
+      if (r.states.size() > options_.seq_scc_region) {
+        ctr.tarjan_escapes.increment();
+        obs::timeline::instant("mec.tarjan_escape");
+      }
       tarjan(r);
       return;
     }
     ctr.splits.increment();
+    obs::timeline::instant("mec.fwbw_split");
     const std::uint32_t token = r.token;
     const StateId pivot = r.states.front();
     sweep(fwd_, pivot, token, fw_mark_);
@@ -503,7 +512,7 @@ std::vector<EndComponent> maximal_end_components_t(const ModelT& model, std::uin
   if (workers <= 1 || candidates < options.seq_mec_threshold) {
     return mdp::detail::maximal_end_components_t(model, avoid_set);
   }
-  obs::Span span("mec.decompose");
+  obs::TimedSpan span("mec.decompose");
 
   // Refinement fixpoint, as in the sequential decomposition: SCC-split the
   // partition, drop states with no action closed inside their own block,

@@ -46,6 +46,7 @@
 #include "gdp/mdp/par/end_components_impl.hpp"
 #include "gdp/mdp/quant/quant.hpp"
 #include "gdp/obs/obs.hpp"
+#include "gdp/obs/timeline.hpp"
 
 namespace gdp::mdp::quant::detail {
 
@@ -302,6 +303,12 @@ inline Phase iterate_reach_max(const Quotient& q, const std::vector<double>& pin
     phase.converged = true;
     return phase;
   }
+  // Timeline: one slice per reachability phase, with a live bracket-width
+  // sample per sweep (mirrored into a timing gauge for the heartbeat
+  // sampler — parts-per-billion so it fits the integer metric tables).
+  obs::timeline::ScopedSlice phase_slice("quant.reach_phase");
+  static obs::Gauge& width_gauge =
+      obs::Registry::global().gauge("quant.bracket_width_ppb", obs::Plane::kTiming);
   while (phase.sweeps < options.max_iterations) {
     for_range(n, options.threads, parallel, [&](std::size_t a, std::size_t b) {
       for (std::size_t i = a; i < b; ++i) {
@@ -326,6 +333,8 @@ inline Phase iterate_reach_max(const Quotient& q, const std::vector<double>& pin
                                                       }
                                                       return w;
                                                     });
+    obs::timeline::counter_sample("quant.bracket_width", width);
+    width_gauge.set(static_cast<std::uint64_t>(width * 1e9));
     if (width <= options.epsilon) {
       phase.converged = true;
       break;
@@ -371,6 +380,7 @@ Phase drive_time_bounds(std::size_t n, bool complete, const QuantOptions& option
   hi.assign(n, kInf);
   std::vector<double> lo2(lo), up(n, 0.0), up2(n, 0.0);
 
+  obs::timeline::ScopedSlice phase_slice("quant.time_phase");
   Phase phase;
   auto sweep_lower = [&] {
     for_range(n, options.threads, parallel, [&](std::size_t a, std::size_t b) {
@@ -610,7 +620,7 @@ SharedSweeps make_shared_sweeps(const ModelT& model, const par::CheckOptions& co
 template <class ModelT>
 QuantResult analyze_one(const ModelT& model, std::uint64_t target_set,
                         const QuantOptions& options, SharedSweeps& shared) {
-  obs::Span span("quant.analyze");
+  obs::TimedSpan span("quant.analyze");
   QuantResult result;
   result.target_set = target_set;
   result.num_states = model.num_states();

@@ -16,6 +16,7 @@
 #include "gdp/mdp/par/end_components_impl.hpp"
 #include "gdp/mdp/quant/quant_impl.hpp"
 #include "gdp/obs/obs.hpp"
+#include "gdp/obs/timeline.hpp"
 
 namespace gdp::mdp::store {
 
@@ -260,6 +261,7 @@ void Residency::fault(const std::vector<Chunk>& chunks, std::size_t idx) {
     --hot_count_;
     hot_bytes_ -= chunks[victim].payload_bytes();
     StoreCounters::get().chunk_evictions.increment();
+    obs::timeline::instant("store.chunk_eviction");
   }
 
   stamps_[idx].store(++epoch_, std::memory_order_relaxed);
@@ -267,6 +269,15 @@ void Residency::fault(const std::vector<Chunk>& chunks, std::size_t idx) {
   hot_bytes_ += chunks[idx].payload_bytes();
   if (hot_bytes_ > peak_bytes_) peak_bytes_ = hot_bytes_;
   StoreCounters::get().chunk_faults.increment();
+  obs::timeline::instant("store.chunk_fault");
+  // Live residency for the heartbeat sampler; timing plane (which chunks
+  // fault depends on the read schedule, not on the work).
+  static obs::Gauge& resident_chunks =
+      obs::Registry::global().gauge("store.resident_chunks", obs::Plane::kTiming);
+  static obs::Gauge& resident_bytes =
+      obs::Registry::global().gauge("store.resident_bytes", obs::Plane::kTiming);
+  resident_chunks.set(hot_count_);
+  resident_bytes.set(hot_bytes_);
 }
 
 void Residency::reset_cold(const std::vector<Chunk>& chunks) {
@@ -476,13 +487,14 @@ std::size_t ChunkedModel::spilled_bytes() const {
 }
 
 void ChunkedModel::spill() {
-  obs::Span span("store.spill");
+  obs::TimedSpan span("store.spill");
   ensure_dir(options_.dir);
   for (std::size_t i = 0; i < chunks_.size(); ++i) {
     if (chunks_[i].spilled()) continue;
     chunks_[i].spill_to(chunk_path(options_.dir, spill_seq_, i));
     StoreCounters::get().chunks_spilled.increment();
     StoreCounters::get().spill_bytes.add(chunks_[i].payload_words() * sizeof(std::uint64_t));
+    obs::timeline::instant("store.chunk_spill");
   }
   // Everything is file-backed now; start the budget from an all-cold set so
   // the first sweep's faults are what page the working set in.
@@ -490,7 +502,7 @@ void ChunkedModel::spill() {
 }
 
 Model ChunkedModel::materialize() const {
-  obs::Span span("store.materialize");
+  obs::TimedSpan span("store.materialize");
   StoreCounters::get().materializations.increment();
   const std::size_t n = static_cast<std::size_t>(num_phils_);
   std::vector<std::uint64_t> offsets;
@@ -519,7 +531,7 @@ Model ChunkedModel::materialize() const {
 }
 
 void ChunkedModel::save_checkpoint(const std::string& path) const {
-  obs::Span span("store.checkpoint_save");
+  obs::TimedSpan span("store.checkpoint_save");
   std::vector<std::uint64_t> blob;
   std::size_t payload_total = 0;
   for (const Chunk& c : chunks_) payload_total += c.payload_words();
@@ -544,7 +556,7 @@ void ChunkedModel::save_checkpoint(const std::string& path) const {
 
 ChunkedModel ChunkedModel::load_checkpoint(const algos::Algorithm& algo, const graph::Topology& t,
                                            const std::string& path, StoreOptions options) {
-  obs::Span span("store.checkpoint_load");
+  obs::TimedSpan span("store.checkpoint_load");
   const auto [addr, bytes] = map_file(path);
   std::shared_ptr<const std::uint64_t> mapping(
       static_cast<const std::uint64_t*>(addr),

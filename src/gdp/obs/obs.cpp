@@ -6,6 +6,7 @@
 #include <map>
 
 #include "gdp/common/thread_annotations.hpp"
+#include "gdp/obs/timeline.hpp"
 
 namespace gdp::obs {
 
@@ -53,6 +54,8 @@ namespace {
 struct SpanAgg {
   std::uint64_t count = 0;
   std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;  // meaningful only when count > 0
+  std::uint64_t max_ns = 0;
 };
 
 }  // namespace
@@ -66,7 +69,9 @@ struct Registry::Impl {
   std::map<std::string, Counter> det_counters GDP_GUARDED_BY(mu);
   std::map<std::string, Counter> timing_counters GDP_GUARDED_BY(mu);
   std::map<std::string, Gauge> gauges GDP_GUARDED_BY(mu);
+  std::map<std::string, Gauge> timing_gauges GDP_GUARDED_BY(mu);
   std::map<std::string, Histogram> histograms GDP_GUARDED_BY(mu);
+  std::map<std::string, Histogram> timing_histograms GDP_GUARDED_BY(mu);
   std::map<std::string, SpanAgg> spans GDP_GUARDED_BY(mu);
 };
 
@@ -78,6 +83,11 @@ Registry& Registry::global() {
 }
 
 Registry::Impl& Registry::impl() const {
+  // Every registry access path funnels through here, so this is where the
+  // GDP_OBS_PROGRESS heartbeat sampler latches on: any process that touches
+  // gdp::obs streams progress without bench cooperation. One acquire load
+  // after the first call.
+  timeline::detail::ensure_progress_sampler();
   static Impl* const impl = new Impl();
   return *impl;
 }
@@ -89,16 +99,18 @@ Counter& Registry::counter(const std::string& name, Plane plane) {
   return table.try_emplace(name).first->second;
 }
 
-Gauge& Registry::gauge(const std::string& name) {
+Gauge& Registry::gauge(const std::string& name, Plane plane) {
   Impl& im = impl();
   common::MutexLock lock(im.mu);
-  return im.gauges.try_emplace(name).first->second;
+  auto& table = plane == Plane::kDeterministic ? im.gauges : im.timing_gauges;
+  return table.try_emplace(name).first->second;
 }
 
-Histogram& Registry::histogram(const std::string& name) {
+Histogram& Registry::histogram(const std::string& name, Plane plane) {
   Impl& im = impl();
   common::MutexLock lock(im.mu);
-  return im.histograms.try_emplace(name).first->second;
+  auto& table = plane == Plane::kDeterministic ? im.histograms : im.timing_histograms;
+  return table.try_emplace(name).first->second;
 }
 
 void Registry::record_span(const std::string& name, std::uint64_t elapsed_ns) {
@@ -107,32 +119,48 @@ void Registry::record_span(const std::string& name, std::uint64_t elapsed_ns) {
   SpanAgg& agg = im.spans.try_emplace(name).first->second;
   agg.count += 1;
   agg.total_ns += elapsed_ns;
+  if (agg.count == 1) {
+    agg.min_ns = elapsed_ns;
+    agg.max_ns = elapsed_ns;
+  } else {
+    if (elapsed_ns < agg.min_ns) agg.min_ns = elapsed_ns;
+    if (elapsed_ns > agg.max_ns) agg.max_ns = elapsed_ns;
+  }
 }
 
 Snapshot Registry::snapshot() const {
   Impl& im = impl();
   common::MutexLock lock(im.mu);
   Snapshot snap;
+  const auto copy_histograms = [](const std::map<std::string, Histogram>& from,
+                                  std::vector<HistogramValue>& to) {
+    for (const auto& [name, h] : from) {
+      HistogramValue hv;
+      hv.name = name;
+      hv.count = h.count();
+      hv.sum = h.sum();
+      for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+        if (const std::uint64_t n = h.bucket(b); n != 0) hv.buckets.emplace_back(b, n);
+      }
+      to.push_back(std::move(hv));
+    }
+  };
   snap.counters.reserve(im.det_counters.size());
   for (const auto& [name, c] : im.det_counters) snap.counters.push_back({name, c.value()});
   snap.gauges.reserve(im.gauges.size());
   for (const auto& [name, g] : im.gauges) snap.gauges.push_back({name, g.value()});
-  for (const auto& [name, h] : im.histograms) {
-    HistogramValue hv;
-    hv.name = name;
-    hv.count = h.count();
-    hv.sum = h.sum();
-    for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
-      if (const std::uint64_t n = h.bucket(b); n != 0) hv.buckets.emplace_back(b, n);
-    }
-    snap.histograms.push_back(std::move(hv));
-  }
+  copy_histograms(im.histograms, snap.histograms);
   snap.timing_counters.reserve(im.timing_counters.size());
   for (const auto& [name, c] : im.timing_counters) {
     snap.timing_counters.push_back({name, c.value()});
   }
+  snap.timing_gauges.reserve(im.timing_gauges.size());
+  for (const auto& [name, g] : im.timing_gauges) snap.timing_gauges.push_back({name, g.value()});
+  copy_histograms(im.timing_histograms, snap.timing_histograms);
   snap.spans.reserve(im.spans.size());
-  for (const auto& [name, agg] : im.spans) snap.spans.push_back({name, agg.count, agg.total_ns});
+  for (const auto& [name, agg] : im.spans) {
+    snap.spans.push_back({name, agg.count, agg.total_ns, agg.min_ns, agg.max_ns});
+  }
   return snap;
 }
 
@@ -144,7 +172,9 @@ void Registry::reset() {
   for (auto& [name, c] : im.det_counters) c.reset();
   for (auto& [name, c] : im.timing_counters) c.reset();
   for (auto& [name, g] : im.gauges) g.reset();
+  for (auto& [name, g] : im.timing_gauges) g.reset();
   for (auto& [name, h] : im.histograms) h.reset();
+  for (auto& [name, h] : im.timing_histograms) h.reset();
   for (auto& [name, agg] : im.spans) agg = SpanAgg{};
 }
 
@@ -188,6 +218,26 @@ void append_metric_map(std::string& out, const std::vector<MetricValue>& metrics
   out += '}';
 }
 
+void append_histogram_map(std::string& out, const std::vector<HistogramValue>& histograms) {
+  out += '{';
+  bool first = true;
+  for (const HistogramValue& h : histograms) {
+    if (!first) out += ", ";
+    first = false;
+    append_escaped(out, h.name);
+    out += ": {\"count\": " + std::to_string(h.count) + ", \"sum\": " + std::to_string(h.sum) +
+           ", \"pow2_buckets\": {";
+    bool bfirst = true;
+    for (const auto& [bits, n] : h.buckets) {
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      out += '"' + std::to_string(bits) + "\": " + std::to_string(n);
+    }
+    out += "}}";
+  }
+  out += '}';
+}
+
 }  // namespace
 
 std::string report_json(const Snapshot& snapshot, const std::string& name,
@@ -211,24 +261,14 @@ std::string report_json(const Snapshot& snapshot, const std::string& name,
   append_metric_map(out, snapshot.counters);
   out += ",\n    \"gauges\": ";
   append_metric_map(out, snapshot.gauges);
-  out += ",\n    \"histograms\": {";
-  first = true;
-  for (const HistogramValue& h : snapshot.histograms) {
-    if (!first) out += ", ";
-    first = false;
-    append_escaped(out, h.name);
-    out += ": {\"count\": " + std::to_string(h.count) + ", \"sum\": " + std::to_string(h.sum) +
-           ", \"pow2_buckets\": {";
-    bool bfirst = true;
-    for (const auto& [bits, n] : h.buckets) {
-      if (!bfirst) out += ", ";
-      bfirst = false;
-      out += '"' + std::to_string(bits) + "\": " + std::to_string(n);
-    }
-    out += "}}";
-  }
-  out += "}\n  },\n  \"timing\": {\n    \"counters\": ";
+  out += ",\n    \"histograms\": ";
+  append_histogram_map(out, snapshot.histograms);
+  out += "\n  },\n  \"timing\": {\n    \"counters\": ";
   append_metric_map(out, snapshot.timing_counters);
+  out += ",\n    \"gauges\": ";
+  append_metric_map(out, snapshot.timing_gauges);
+  out += ",\n    \"histograms\": ";
+  append_histogram_map(out, snapshot.timing_histograms);
   out += ",\n    \"spans\": {";
   first = true;
   for (const SpanValue& s : snapshot.spans) {
@@ -236,7 +276,14 @@ std::string report_json(const Snapshot& snapshot, const std::string& name,
     first = false;
     append_escaped(out, s.name);
     out += ": {\"count\": " + std::to_string(s.count) +
-           ", \"total_ns\": " + std::to_string(s.total_ns) + "}";
+           ", \"total_ns\": " + std::to_string(s.total_ns);
+    // min/max are undefined on an empty aggregate (a reset span): omit them
+    // so the schema has no sentinel values.
+    if (s.count > 0) {
+      out += ", \"min_ns\": " + std::to_string(s.min_ns) +
+             ", \"max_ns\": " + std::to_string(s.max_ns);
+    }
+    out += "}";
   }
   out += "}\n  }\n}\n";
   return out;

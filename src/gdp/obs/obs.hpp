@@ -37,7 +37,11 @@
 namespace gdp::obs {
 
 /// Version of the JSON run-report schema emitted by report_json().
-inline constexpr int kReportSchema = 1;
+/// Schema 2 (this PR's bump from 1): span aggregates carry per-call
+/// "min_ns"/"max_ns" (present iff count > 0), and the timing plane gains
+/// "gauges" and "histograms" tables for live scheduler-shaped values
+/// (resident chunks, bracket widths, hunger latency).
+inline constexpr int kReportSchema = 2;
 
 /// Which plane a metric lives in. Deterministic metrics must be a pure
 /// function of the work performed (bit-identical at every thread count);
@@ -157,22 +161,28 @@ struct HistogramValue {
   std::vector<std::pair<unsigned, std::uint64_t>> buckets;  // (bit_width, count)
 };
 
-/// One span aggregate in a snapshot: how often the phase ran and the total
-/// wall-clock nanoseconds across all runs. Timing plane only.
+/// One span aggregate in a snapshot: how often the phase ran, the total
+/// wall-clock nanoseconds across all runs, and the fastest/slowest single
+/// run. min_ns/max_ns are meaningful only when count > 0 (the JSON report
+/// omits them on empty aggregates). Timing plane only.
 struct SpanValue {
   std::string name;
   std::uint64_t count = 0;
   std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
 };
 
 /// A point-in-time copy of every registered metric, keys sorted (the
 /// registry is an ordered map, so JSON key order is deterministic too).
 struct Snapshot {
-  std::vector<MetricValue> counters;         // deterministic plane
-  std::vector<MetricValue> gauges;           // deterministic plane
-  std::vector<HistogramValue> histograms;    // deterministic plane
-  std::vector<MetricValue> timing_counters;  // timing plane (e.g. pool.steals)
-  std::vector<SpanValue> spans;              // timing plane
+  std::vector<MetricValue> counters;            // deterministic plane
+  std::vector<MetricValue> gauges;              // deterministic plane
+  std::vector<HistogramValue> histograms;       // deterministic plane
+  std::vector<MetricValue> timing_counters;     // timing plane (e.g. pool.steals)
+  std::vector<MetricValue> timing_gauges;       // timing plane (e.g. resident chunks)
+  std::vector<HistogramValue> timing_histograms;  // timing plane (e.g. hunger ns)
+  std::vector<SpanValue> spans;                 // timing plane
 };
 
 /// The process-wide metric registry. Lookup by name returns a stable
@@ -183,8 +193,8 @@ class Registry {
   static Registry& global();
 
   Counter& counter(const std::string& name, Plane plane = Plane::kDeterministic);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  Gauge& gauge(const std::string& name, Plane plane = Plane::kDeterministic);
+  Histogram& histogram(const std::string& name, Plane plane = Plane::kDeterministic);
 
   /// Accumulates one timed phase run into the span aggregate for `name`.
   void record_span(const std::string& name, std::uint64_t elapsed_ns);
@@ -243,10 +253,35 @@ class Span {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Free-running stopwatch for harnesses whose *behavior* is time-driven —
+/// duration cutoffs and latency samples in the dining-philosophers runtime,
+/// not metric recording. Unlike Span it always reads the clock, independent
+/// of enabled(): its readings feed live results (RuntimeResult quantiles)
+/// that exist with or without obs. Living in gdp/obs keeps every clock read
+/// in the tree inside the lint-blessed directory; readings must stay on the
+/// timing side (reports, progress) and never reach a fingerprinted value.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now() - start_)
+                                          .count());
+  }
+
+  double seconds() const { return static_cast<double>(elapsed_ns()) * 1e-9; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// Serializes a snapshot as the versioned run-report JSON:
 ///
 ///   {
-///     "gdp_obs_schema": 1,
+///     "gdp_obs_schema": 2,
 ///     "name": "<report name>",
 ///     "meta": { ...caller-provided string pairs... },
 ///     "deterministic": {
@@ -257,7 +292,10 @@ class Span {
 ///     },
 ///     "timing": {
 ///       "counters": {"pool.steals": 7, ...},
-///       "spans": {"explore.run": {"count": 1, "total_ns": 123456}, ...}
+///       "gauges": {"store.resident_chunks": 4, ...},
+///       "histograms": {"runtime.hunger_ns": {...}},
+///       "spans": {"explore.run": {"count": 1, "total_ns": 123456,
+///                 "min_ns": 123456, "max_ns": 123456}, ...}
 ///     }
 ///   }
 ///

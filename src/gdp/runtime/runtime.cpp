@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "gdp/common/check.hpp"
+#include "gdp/obs/obs.hpp"
 #include "gdp/rng/rng.hpp"
 #include "gdp/runtime/atomic_fork.hpp"
 #include "gdp/runtime/shared_books.hpp"
@@ -88,9 +89,9 @@ class Worker {
   void run() {
     while (!s_.stop.load(std::memory_order_relaxed)) {
       busy_work(s_.think_work);  // think
-      // gdp-lint: allow(wall-clock) — hunger-latency sample for live stress runs;
-      // never part of a golden-file or seeded-reproducibility contract
-      const auto hungry_at = std::chrono::steady_clock::now();
+      // Hunger-latency episode starts here; obs::Stopwatch is the blessed
+      // timing-plane clock, so no lint suppression is needed.
+      const obs::Stopwatch hunger_clock;
 
       if (s_.kind == Kind::kTicket && !acquire_ticket()) break;
       if (uses_books(s_.kind)) {
@@ -106,7 +107,7 @@ class Worker {
       // --- eating: canary checks mutual exclusion on both forks.
       enter_canary(left_);
       enter_canary(right_);
-      record_hunger(hungry_at);
+      record_hunger(hunger_clock.elapsed_ns());
       busy_work(s_.eat_work);
       exit_canary(right_);
       exit_canary(left_);
@@ -238,15 +239,16 @@ class Worker {
     s_.eaters_canary[static_cast<std::size_t>(f)].fetch_sub(1, std::memory_order_acq_rel);
   }
 
-  // gdp-lint: allow(obs-outside-span) — per-acquisition latency sample of the
-  // OS-thread stress harness: one timestamp per hunger episode, far too hot
-  // and too local for a registry-backed obs::Span; feeds quantile reports only.
-  void record_hunger(std::chrono::steady_clock::time_point hungry_at) {
+  /// One latency observation per hunger episode: the capped local sample
+  /// keeps exact quantiles for RuntimeResult, and the obs timing-plane
+  /// histogram carries the distribution into the run report (a no-op
+  /// relaxed load when GDP_OBS is off).
+  void record_hunger(std::uint64_t hunger_ns) {
+    static obs::Histogram& hunger_hist =
+        obs::Registry::global().histogram("runtime.hunger_ns", obs::Plane::kTiming);
+    hunger_hist.record(hunger_ns);
     if (out_.hunger_ns.size() >= kMaxLatencySamples) return;
-    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - hungry_at)  // gdp-lint: allow(wall-clock) — latency sample, timing-only
-                        .count();
-    out_.hunger_ns.push_back(static_cast<std::uint64_t>(ns));
+    out_.hunger_ns.push_back(hunger_ns);
   }
 
   void cleanup_requests() {
@@ -308,9 +310,12 @@ RuntimeResult run_threads(const graph::Topology& t, const RuntimeConfig& config)
   std::vector<WorkerOutput> outputs(static_cast<std::size_t>(t.num_phils()));
   rng::Rng seeder(config.seed);
 
-  // gdp-lint: allow(wall-clock) — duration cutoff for the OS-thread stress
-  // harness; meal counts are per-run observations, never golden-file inputs
-  const auto start = std::chrono::steady_clock::now();
+  // Duration cutoff and elapsed-seconds report run off the blessed
+  // timing-plane stopwatch; meal counts are per-run observations, never
+  // golden-file inputs.
+  const obs::Stopwatch run_clock;
+  const auto duration_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(config.duration).count());
   {
     // gdp-lint: allow(raw-thread) — the point of this harness is one OS thread
     // per philosopher contending on real atomics; the deterministic pool's
@@ -325,16 +330,15 @@ RuntimeResult run_threads(const graph::Topology& t, const RuntimeConfig& config)
       });
     }
     if (config.duration.count() > 0) {
-      const auto deadline = start + config.duration;
       while (!shared.stop.load(std::memory_order_relaxed) &&
-             std::chrono::steady_clock::now() < deadline) {  // gdp-lint: allow(wall-clock) — deadline poll, timing-only
+             run_clock.elapsed_ns() < duration_ns) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
       shared.stop.store(true, std::memory_order_relaxed);
     }
     // jthreads join here; meal-target runs stop themselves.
   }
-  const auto end = std::chrono::steady_clock::now();  // gdp-lint: allow(wall-clock) — elapsed-seconds report only
+  const double elapsed_seconds = run_clock.seconds();
 
   RuntimeResult result;
   result.meals_of.reserve(outputs.size());
@@ -344,7 +348,7 @@ RuntimeResult run_threads(const graph::Topology& t, const RuntimeConfig& config)
     result.total_meals += out.meals;
     all_latencies.insert(all_latencies.end(), out.hunger_ns.begin(), out.hunger_ns.end());
   }
-  result.elapsed_seconds = std::chrono::duration<double>(end - start).count();
+  result.elapsed_seconds = elapsed_seconds;
   result.meals_per_second =
       result.elapsed_seconds > 0 ? static_cast<double>(result.total_meals) / result.elapsed_seconds
                                  : 0.0;

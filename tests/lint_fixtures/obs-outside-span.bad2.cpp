@@ -1,0 +1,20 @@
+// Second seeded violation: a hand-rolled event buffer stamping entries with
+// clock-type state outside gdp/obs/ — a private timeline whose events never
+// reach the trace file and whose timestamps tempt result-side use. (No
+// ::now() call on these lines; live reads are the wall-clock rule's
+// findings.)
+#include <chrono>
+#include <vector>
+
+struct HomegrownEvent {
+  const char* name;
+  std::chrono::steady_clock::time_point at;
+};
+
+class HomegrownTimeline {
+ public:
+  void record(HomegrownEvent e) { events_.push_back(e); }
+
+ private:
+  std::vector<HomegrownEvent> events_;
+};

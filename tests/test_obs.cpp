@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -31,6 +32,7 @@
 #include "gdp/mdp/quant/quant.hpp"
 #include "gdp/mdp/store/store.hpp"
 #include "gdp/obs/obs.hpp"
+#include "gdp/obs/timeline.hpp"
 
 namespace gdp::obs {
 namespace {
@@ -175,6 +177,23 @@ TEST_F(ObsTest, SpanRecordsOnceAndFreezesSeconds) {
   EXPECT_TRUE(found);
 }
 
+TEST_F(ObsTest, SpanMinMaxTrackExtrema) {
+  Registry::global().record_span("test.span_extrema", 42);
+  Registry::global().record_span("test.span_extrema", 5);
+  Registry::global().record_span("test.span_extrema", 17);
+  const Snapshot snap = Registry::global().snapshot();
+  bool found = false;
+  for (const auto& s : snap.spans) {
+    if (s.name != "test.span_extrema") continue;
+    found = true;
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_EQ(s.total_ns, 64u);
+    EXPECT_EQ(s.min_ns, 5u);
+    EXPECT_EQ(s.max_ns, 42u);
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST_F(ObsTest, SpanReadsNoClockWhenDisabled) {
   set_enabled(false);
   Span span("test.span_disabled");
@@ -192,17 +211,24 @@ TEST_F(ObsTest, ReportJsonCarriesSchemaVersionAndPlanes) {
   Registry::global().gauge("test.report_gauge").set(11);
   Registry::global().histogram("test.report_hist").record(5);
   Registry::global().counter("test.report_steals", Plane::kTiming).add(3);
+  Registry::global().gauge("test.report_tgauge", Plane::kTiming).set(5);
+  Registry::global().histogram("test.report_thist", Plane::kTiming).record(9);
   Registry::global().record_span("test.report_span", 42);
 
   const std::string json = report_json(Registry::global().snapshot(), "unit",
                                        {{"key", "value"}});
-  EXPECT_NE(json.find("\"gdp_obs_schema\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"gdp_obs_schema\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"unit\""), std::string::npos);
   EXPECT_NE(json.find("\"key\": \"value\""), std::string::npos);
   EXPECT_NE(json.find("\"test.report_counter\": 7"), std::string::npos);
   EXPECT_NE(json.find("\"test.report_gauge\": 11"), std::string::npos);
   EXPECT_NE(json.find("\"test.report_steals\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.report_tgauge\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.report_thist\""), std::string::npos);
   EXPECT_NE(json.find("\"test.report_span\""), std::string::npos);
+  // Schema 2: a recorded span carries its extrema.
+  EXPECT_NE(json.find("\"min_ns\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"max_ns\": 42"), std::string::npos);
   // The two planes are separate objects, deterministic first.
   const auto det = json.find("\"deterministic\"");
   const auto timing = json.find("\"timing\"");
@@ -211,6 +237,19 @@ TEST_F(ObsTest, ReportJsonCarriesSchemaVersionAndPlanes) {
   EXPECT_LT(det, timing);
   EXPECT_LT(json.find("\"test.report_counter\""), timing);
   EXPECT_GT(json.find("\"test.report_steals\""), timing);
+  EXPECT_GT(json.find("\"test.report_tgauge\""), timing);
+}
+
+TEST_F(ObsTest, ReportJsonOmitsExtremaOnEmptySpans) {
+  // reset() zeroes aggregates in place, so the key survives with count 0 —
+  // an empty aggregate must not invent sentinel extrema.
+  Registry::global().record_span("test.empty_span", 7);
+  Registry::global().reset();
+  const std::string json = report_json(Registry::global().snapshot(), "unit", {});
+  EXPECT_NE(json.find("\"test.empty_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos);
+  EXPECT_EQ(json.find("\"min_ns\""), std::string::npos);
+  EXPECT_EQ(json.find("\"max_ns\""), std::string::npos);
 }
 
 TEST_F(ObsTest, ReportJsonEscapesMetaStrings) {
@@ -399,6 +438,188 @@ TEST_F(ObsTest, ObsDoesNotPerturbModelsOrVerdicts) {
   EXPECT_EQ(with_obs, without_obs);
 }
 
+// --- The timeline plane (gdp/obs/timeline.hpp). -----------------------------
+
+/// Timeline tests run with BOTH planes on and zeroed rings; the rings are
+/// process-global like the registry, so tests assert deltas from a reset,
+/// never absolute track counts.
+class TimelineTest : public ObsTest {
+ protected:
+  void SetUp() override {
+    ObsTest::SetUp();
+    timeline::reset();
+    timeline::set_enabled(true);
+  }
+  void TearDown() override {
+    timeline::set_enabled(false);
+    timeline::reset();
+    ObsTest::TearDown();
+  }
+};
+
+TEST_F(TimelineTest, OffMeansZeroEvents) {
+  timeline::set_enabled(false);
+  timeline::begin_slice("test.off");
+  timeline::end_slice("test.off");
+  timeline::instant("test.off_instant");
+  timeline::counter_sample("test.off_counter", 1.0);
+  { timeline::ScopedSlice slice("test.off_scoped"); }
+  const timeline::Stats stats = timeline::stats();
+  EXPECT_EQ(stats.events, 0u);
+  EXPECT_EQ(stats.dropped_events, 0u);
+}
+
+TEST_F(TimelineTest, TimedSpanFeedsBothPlanesIndependently) {
+  // Timeline off, obs on: the aggregate span still records.
+  timeline::set_enabled(false);
+  { TimedSpan span("test.both_planes"); }
+  EXPECT_EQ(timeline::stats().events, 0u);
+  Snapshot snap = Registry::global().snapshot();
+  bool found = false;
+  for (const auto& s : snap.spans) {
+    if (s.name == "test.both_planes") {
+      found = true;
+      EXPECT_EQ(s.count, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // Timeline on, obs off: the slice still records.
+  timeline::set_enabled(true);
+  set_enabled(false);
+  { TimedSpan span("test.both_planes"); }
+  set_enabled(true);
+  const timeline::Stats stats = timeline::stats();
+  EXPECT_EQ(stats.begins, 1u);
+  EXPECT_EQ(stats.ends, 1u);
+}
+
+TEST_F(TimelineTest, BalancedBeginsEndsAndMonotoneTimestampsPerTrack) {
+  common::parallel_for(64, /*threads=*/4, [&](std::uint32_t id) {
+    timeline::ScopedSlice outer("test.outer");
+    {
+      timeline::ScopedSlice inner("test.inner");
+      timeline::instant("test.tick");
+    }
+    timeline::counter_sample("test.progress", static_cast<double>(id));
+  });
+  // The pool's own instrumentation (pool.worker slices, pool.tasks_run
+  // samples) shares the rings, so tally this test's events by name.
+  std::uint64_t outer_begins = 0, outer_ends = 0, inner_begins = 0, inner_ends = 0;
+  std::uint64_t ticks = 0, samples = 0;
+  for (const timeline::TrackEvents& track : timeline::snapshot_tracks()) {
+    EXPECT_EQ(track.dropped_events, 0u);
+    for (const timeline::Event& e : track.events) {
+      const std::string name = e.name;
+      if (name == "test.outer") (e.kind == timeline::EventKind::kBegin ? outer_begins
+                                                                       : outer_ends)++;
+      if (name == "test.inner") (e.kind == timeline::EventKind::kBegin ? inner_begins
+                                                                       : inner_ends)++;
+      if (name == "test.tick") ++ticks;
+      if (name == "test.progress") ++samples;
+    }
+  }
+  EXPECT_EQ(outer_begins, 64u);
+  EXPECT_EQ(outer_ends, 64u);
+  EXPECT_EQ(inner_begins, 64u);
+  EXPECT_EQ(inner_ends, 64u);
+  EXPECT_EQ(ticks, 64u);
+  EXPECT_EQ(samples, 64u);
+
+  for (const timeline::TrackEvents& track : timeline::snapshot_tracks()) {
+    std::uint64_t last_ts = 0;
+    std::int64_t depth = 0;
+    for (const timeline::Event& e : track.events) {
+      EXPECT_GE(e.ts_ns, last_ts);  // one writer, one monotone clock
+      last_ts = e.ts_ns;
+      if (e.kind == timeline::EventKind::kBegin) ++depth;
+      if (e.kind == timeline::EventKind::kEnd) --depth;
+      EXPECT_GE(depth, 0);  // an end never precedes its begin
+    }
+    EXPECT_EQ(depth, 0);  // every slice closed on its own track
+  }
+}
+
+TEST_F(TimelineTest, TraceJsonIsWellFormedAndRoundTripsThroughWriteTrace) {
+  {
+    timeline::ScopedSlice slice("test.trace_slice");
+    timeline::instant("test.trace_instant");
+    timeline::counter_sample("test.trace_counter", 3.5);
+  }
+  const std::string json = timeline::trace_json("unit \"quoted\"");
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\": \"0\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit \\\"quoted\\\"\""), std::string::npos);  // escaped meta
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);           // thread-scoped instant
+  EXPECT_NE(json.find("\"args\": {\"value\": 3.5}"), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 4), "]\n}\n");
+
+  const std::string path = std::filesystem::path(::testing::TempDir()) /
+                           ("gdp_obs_trace_" + std::to_string(::getpid()) + ".json");
+  ASSERT_TRUE(timeline::write_trace(path, "unit \"quoted\""));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), json);  // no events in between — identical drain
+  std::filesystem::remove(path);
+}
+
+TEST_F(TimelineTest, OverflowDropsNewEventsAndKeepsOldOnesIntact) {
+  // One thread past capacity: the ring must keep its first kRingCapacity
+  // events untouched and count the overflow — never overwrite, never grow.
+  constexpr std::uint64_t kOverflow = 500;
+  for (std::uint64_t i = 0; i < timeline::kRingCapacity + kOverflow; ++i) {
+    timeline::instant("test.flood");
+  }
+  const timeline::Stats stats = timeline::stats();
+  EXPECT_EQ(stats.events, timeline::kRingCapacity);
+  EXPECT_EQ(stats.dropped_events, kOverflow);
+
+  bool found = false;
+  for (const timeline::TrackEvents& track : timeline::snapshot_tracks()) {
+    if (track.events.empty()) continue;
+    found = true;
+    EXPECT_EQ(track.events.size(), std::size_t{timeline::kRingCapacity});
+    EXPECT_EQ(track.dropped_events, kOverflow);
+    EXPECT_STREQ(track.events.front().name, "test.flood");
+    EXPECT_STREQ(track.events.back().name, "test.flood");
+    EXPECT_EQ(track.events.front().kind, timeline::EventKind::kInstant);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TimelineTest, TimelineDoesNotPerturbResultsAtAnyThreadCount) {
+  const auto algo = algos::make_algorithm("gdp2");
+  const auto t = graph::parallel_arcs(3);
+  for (const int threads : thread_counts()) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto run = [&]() {
+      Registry::global().reset();
+      mdp::par::CheckOptions opts;
+      opts.threads = threads;
+      const auto chunked = mdp::store::explore(*algo, t, {}, opts);
+      const auto model = chunked.materialize();
+      const auto verdict = mdp::par::check_fair_progress(model, ~std::uint64_t{0}, opts);
+      mdp::quant::QuantOptions qopts;
+      qopts.threads = threads;
+      const auto q = mdp::quant::analyze(model, ~std::uint64_t{0}, qopts);
+      return std::tuple(chunked.fingerprint(), model.num_states(), model.num_rows(),
+                        verdict.verdict, q.sweeps, q.p_min.lower, q.p_min.upper,
+                        deterministic_fingerprint(Registry::global().snapshot()));
+    };
+    timeline::set_enabled(true);
+    const auto with_timeline = run();
+    timeline::set_enabled(false);
+    const auto without_timeline = run();
+    timeline::set_enabled(true);
+    EXPECT_EQ(with_timeline, without_timeline);
+  }
+}
+
 // --- Concurrency hammer (the TSan target). ----------------------------------
 
 TEST_F(ObsTest, RegistryHammeredFromManyThreads) {
@@ -429,6 +650,37 @@ TEST_F(ObsTest, RegistryHammeredFromManyThreads) {
     EXPECT_EQ(s.count, kTasks);
   }
   EXPECT_TRUE(found);
+}
+
+TEST_F(TimelineTest, TimelineHammeredByWritersUnderALiveReader) {
+  // Seven writers flood their rings while worker 0 concurrently drains
+  // them the way the heartbeat sampler and write_trace do — the rings'
+  // release/acquire publication is the surface TSan checks here.
+  constexpr unsigned kWriters = 7;
+  constexpr int kRounds = 500;
+  std::atomic<unsigned> writers_done{0};
+  common::run_workers(kWriters + 1, [&](unsigned worker) {
+    if (worker == 0) {
+      while (writers_done.load(std::memory_order_acquire) < kWriters) {
+        (void)timeline::trace_json("hammer");
+        (void)timeline::stats();
+        (void)timeline::snapshot_tracks();
+      }
+      return;
+    }
+    for (int i = 0; i < kRounds; ++i) {
+      timeline::ScopedSlice slice("hammer.slice");
+      timeline::instant("hammer.instant");
+      timeline::counter_sample("hammer.progress", static_cast<double>(i));
+    }
+    writers_done.fetch_add(1, std::memory_order_release);
+  });
+  const timeline::Stats stats = timeline::stats();
+  const std::uint64_t expected = static_cast<std::uint64_t>(kWriters) * kRounds;
+  EXPECT_GE(stats.begins + stats.dropped_events, expected);
+  EXPECT_EQ(stats.begins, stats.ends);  // 2k events/writer fit a 32k ring — no drops
+
+  EXPECT_EQ(stats.instants + stats.counters + stats.begins + stats.ends, stats.events);
 }
 
 }  // namespace

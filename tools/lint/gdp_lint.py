@@ -14,16 +14,22 @@ src/ tests/ bench/ examples/ by the `static-analysis` CI job and
                       randomness derives from exp/seeding.hpp (the one
                       exempt file) so results are a pure function of the
                       campaign seed. src/gdp/obs/ is the one blessed clock
-                      site: obs::Span implements the run report's timing
-                      plane, and every other wall-clock read is either
-                      routed through it or suppressed with a justification.
+                      site: obs::Span / obs::Stopwatch implement the run
+                      report's timing plane and timeline.* the per-worker
+                      event rings, and every other wall-clock read is
+                      either routed through them or suppressed with a
+                      justification.
   obs-outside-span    No chrono clock TYPES (steady_clock / system_clock /
                       high_resolution_clock member state) outside
-                      src/gdp/obs/ — hand-rolled stopwatches bypass the
-                      obs timing plane, so their readings never reach the
-                      run report and tempt result-side use. Hold an
-                      obs::Span instead. Lines that call ::now() are the
-                      wall-clock rule's findings, not this rule's.
+                      src/gdp/obs/ — hand-rolled stopwatches and event
+                      buffers bypass the obs timing plane, so their
+                      readings never reach the run report or the timeline
+                      trace and tempt result-side use. Hold an obs::Span /
+                      obs::TimedSpan, use obs::Stopwatch for time-driven
+                      harness behavior, or emit timeline::instant /
+                      counter_sample slices instead. Lines that call
+                      ::now() are the wall-clock rule's findings, not this
+                      rule's.
   unordered-iteration No range-for over an unordered_map/unordered_set
                       (or StateIndex, which wraps one) — hash iteration
                       order is libstdc++-version- and pointer-dependent,
@@ -314,9 +320,11 @@ def rule_obs_outside_span(path: str, code_lines: list[str]) -> list[Finding]:
             found.append(Finding(
                 path, idx, "obs-outside-span",
                 "hand-rolled stopwatch state (a chrono clock type) outside "
-                "gdp/obs/: phase timing goes through obs::Span so it lands in "
-                "the run report's timing plane and never leaks into results — "
-                "hold an obs::Span, or suppress with a justification"))
+                "gdp/obs/: phase timing goes through obs::Span / "
+                "obs::TimedSpan (run report + timeline trace) and "
+                "time-driven behavior through obs::Stopwatch, so clock "
+                "reads never leak into results — use those, or suppress "
+                "with a justification"))
     return found
 
 

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Validate and summarize gdp::obs::timeline traces (TRACE_<name>.json).
+
+The timeline plane drains its per-thread event rings into Chrome
+trace-event JSON (loadable in Perfetto / chrome://tracing). This tool is
+the CI gate for that format. For each file given on the command line it
+checks:
+
+  * top level: object with a "traceEvents" list and an "otherData" object
+    whose "dropped_events" is a decimal string (the rings drop on full,
+    they never block or reallocate — the drop count must be surfaced);
+  * every event: string "name", "ph" in {B, E, i, C, M}, pid == 1 and an
+    integer "tid";
+  * every non-metadata event: a non-negative numeric "ts" (microseconds,
+    nanosecond precision in the fractional part), monotone per track —
+    each ring has one writer reading one steady clock, so out-of-order
+    timestamps within a track mean the emitter or the ring is broken;
+  * instants ("i") are thread-scoped ("s": "t"); counters ("C") carry a
+    numeric args.value;
+  * per-track B/E nesting balances: an "E" must close an open "B" of the
+    same name. Unclosed "B"s are fine (a snapshot can land mid-slice, and
+    an "E" can be dropped on ring overflow); a stray "E" is only tolerated
+    when the trace reports dropped events.
+
+When a file validates it prints per-track utilization (top-level busy
+time over the track's extent) and the top slices by total duration.
+
+Exit status: 0 when every file validates, 1 otherwise. Stdlib only — this
+runs in the bench-smoke CI step with no third-party packages.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+
+PHASES = frozenset({"B", "E", "i", "C", "M"})
+TOP_SLICES = 10
+
+
+def _fail(errors: list[str], where: str, message: str) -> None:
+    errors.append(f"{where}: {message}")
+
+
+def _is_num(v: object) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+class Summary:
+    def __init__(self) -> None:
+        self.events = 0
+        self.dropped = 0
+        # tid -> [first_ts, last_ts, busy_us, slice_count]
+        self.tracks: dict[int, list[float]] = {}
+        self.track_names: dict[int, str] = {}
+        # slice name -> [count, total_us]
+        self.slices: dict[str, list[float]] = defaultdict(lambda: [0, 0.0])
+        self.instants: dict[str, int] = defaultdict(int)
+        self.counters: dict[str, int] = defaultdict(int)
+
+
+def validate(trace: object, summary: Summary) -> list[str]:
+    errors: list[str] = []
+    if not isinstance(trace, dict):
+        return ["top level must be an object"]
+    other = trace.get("otherData")
+    if not isinstance(other, dict) or not isinstance(other.get("dropped_events"), str) \
+            or not other["dropped_events"].isdigit():
+        _fail(errors, "otherData.dropped_events", "must be a decimal string")
+    else:
+        summary.dropped = int(other["dropped_events"])
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        _fail(errors, "traceEvents", "must be a list")
+        return errors
+
+    last_ts: dict[int, float] = {}
+    # tid -> stack of (name, begin_ts, depth-at-begin)
+    stacks: dict[int, list[tuple[str, float]]] = defaultdict(list)
+    for i, e in enumerate(events):
+        here = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            _fail(errors, here, "must be an object")
+            continue
+        name, ph, tid = e.get("name"), e.get("ph"), e.get("tid")
+        if not isinstance(name, str):
+            _fail(errors, here, 'needs string "name"')
+            name = "?"
+        if ph not in PHASES:
+            _fail(errors, here, f'"ph" must be one of B/E/i/C/M, got {ph!r}')
+            continue
+        if e.get("pid") != 1:
+            _fail(errors, here, f'"pid" must be 1, got {e.get("pid")!r}')
+        if not isinstance(tid, int) or isinstance(tid, bool):
+            _fail(errors, here, 'needs integer "tid"')
+            continue
+        if ph == "M":
+            if name == "thread_name":
+                args = e.get("args")
+                if isinstance(args, dict) and isinstance(args.get("name"), str):
+                    summary.track_names[tid] = args["name"]
+            continue
+
+        ts = e.get("ts")
+        if not _is_num(ts) or ts < 0:
+            _fail(errors, here, f'needs non-negative numeric "ts", got {ts!r}')
+            continue
+        if ts < last_ts.get(tid, 0.0):
+            _fail(errors, here,
+                  f"ts {ts} goes backwards on tid {tid} (prev {last_ts[tid]})")
+        last_ts[tid] = ts
+        summary.events += 1
+        track = summary.tracks.setdefault(tid, [ts, ts, 0.0, 0])
+        track[1] = ts
+
+        if ph == "B":
+            stacks[tid].append((name, ts))
+        elif ph == "E":
+            if not stacks[tid]:
+                if summary.dropped == 0:
+                    _fail(errors, here,
+                          f'"E" {name!r} on tid {tid} closes nothing '
+                          "and the trace reports no dropped events")
+                continue
+            open_name, begin_ts = stacks[tid].pop()
+            if open_name != name:
+                _fail(errors, here,
+                      f'"E" {name!r} on tid {tid} closes open slice {open_name!r}')
+            dur = ts - begin_ts
+            agg = summary.slices[open_name]
+            agg[0] += 1
+            agg[1] += dur
+            track[3] += 1
+            if not stacks[tid]:  # top-level slice: counts toward busy time
+                track[2] += dur
+        elif ph == "i":
+            if e.get("s") != "t":
+                _fail(errors, here, 'instant must be thread-scoped ("s": "t")')
+            summary.instants[name] += 1
+        elif ph == "C":
+            args = e.get("args")
+            if not isinstance(args, dict) or not _is_num(args.get("value")):
+                _fail(errors, here, 'counter needs numeric "args.value"')
+            summary.counters[name] += 1
+    return errors
+
+
+def _fmt_us(us: float) -> str:
+    if us >= 1e6:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us:.1f}us"
+
+
+def report(path: str, s: Summary) -> None:
+    print(f"{path}: ok — {s.events} events across {len(s.tracks)} tracks, "
+          f"{s.dropped} dropped")
+    for tid in sorted(s.tracks):
+        first, last, busy, n = s.tracks[tid]
+        span = last - first
+        util = f"{100.0 * busy / span:5.1f}%" if span > 0 else "  n/a "
+        label = s.track_names.get(tid, f"tid-{tid}")
+        print(f"  {label}: util {util} (busy {_fmt_us(busy)} / "
+              f"span {_fmt_us(span)}), {int(n)} slices")
+    top = sorted(s.slices.items(), key=lambda kv: -kv[1][1])[:TOP_SLICES]
+    if top:
+        print("  top slices by total time:")
+        for name, (count, total) in top:
+            mean = total / count if count else 0.0
+            print(f"    {name}: count={int(count)} total={_fmt_us(total)} "
+                  f"mean={_fmt_us(mean)}")
+    if s.instants:
+        inst = ", ".join(f"{k}={v}" for k, v in sorted(s.instants.items()))
+        print(f"  instants: {inst}")
+    if s.counters:
+        ctr = ", ".join(f"{k}={v}" for k, v in sorted(s.counters.items()))
+        print(f"  counter samples: {ctr}")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(f"usage: {argv[0]} TRACE.json [TRACE.json ...]", file=sys.stderr)
+        return 1
+    status = 0
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                trace = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"{path}: cannot load: {err}", file=sys.stderr)
+            status = 1
+            continue
+        summary = Summary()
+        errors = validate(trace, summary)
+        if errors:
+            status = 1
+            for e in errors:
+                print(f"{path}: {e}", file=sys.stderr)
+        else:
+            report(path, summary)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,13 +3,19 @@
 
 Checks, for each file given on the command line:
 
-  * top level: gdp_obs_schema == 1, string "name", object "meta" of
+  * top level: gdp_obs_schema == 2, string "name", object "meta" of
     string -> string, and exactly the two plane objects "deterministic"
-    (counters / gauges / histograms) and "timing" (counters / spans);
+    (counters / gauges / histograms) and "timing" (counters / gauges /
+    histograms / spans);
   * counters and gauges map metric names to non-negative integers;
   * histograms carry integer "count" / "sum" and a "pow2_buckets" object
     whose keys are bit-widths 0..64 and whose bucket counts sum to "count";
-  * spans carry integer "count" / "total_ns";
+  * spans carry integer "count" / "total_ns"; when count > 0 they must
+    also carry integer "min_ns" / "max_ns" with min_ns <= max_ns <=
+    total_ns, and when count == 0 min_ns/max_ns must be absent (an empty
+    aggregate has no extrema — schema 2 has no sentinel values);
+  * known timing-plane gauges (store residency, quant bracket width) never
+    appear on the deterministic plane;
   * every metric table is emitted in sorted key order (the registry is an
     ordered map — out-of-order keys mean the emitter changed and diffs of
     the deterministic plane would churn);
@@ -29,7 +35,7 @@ from __future__ import annotations
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 # Contracted plane placement for the store's counters (store.cpp's
 # StoreCounters). Paging traffic depends on the interleaving of the
@@ -46,6 +52,14 @@ DETERMINISTIC_ONLY_COUNTERS = frozenset({
     "store.chunks_loaded",
     "store.fingerprint_verifications",
     "store.materializations",
+})
+# Live-progress gauges sampled by the heartbeat thread: residency follows
+# the LRU's fault order and bracket width the sweep schedule — both are
+# scheduling-shaped and must never enter the fingerprinted plane.
+TIMING_ONLY_GAUGES = frozenset({
+    "store.resident_chunks",
+    "store.resident_bytes",
+    "quant.bracket_width_ppb",
 })
 
 
@@ -105,6 +119,21 @@ def _check_spans(errors: list[str], where: str, table: object) -> None:
         for field in ("count", "total_ns"):
             if not isinstance(span.get(field), int) or isinstance(span.get(field), bool):
                 _fail(errors, here, f'needs integer "{field}"')
+        count = span.get("count")
+        if isinstance(count, int) and not isinstance(count, bool) and count > 0:
+            for field in ("min_ns", "max_ns"):
+                if not isinstance(span.get(field), int) or isinstance(span.get(field), bool):
+                    _fail(errors, here, f'needs integer "{field}" when count > 0')
+            mn, mx, total = span.get("min_ns"), span.get("max_ns"), span.get("total_ns")
+            if isinstance(mn, int) and isinstance(mx, int) and mn > mx:
+                _fail(errors, here, f"min_ns {mn} > max_ns {mx}")
+            if isinstance(mx, int) and isinstance(total, int) and mx > total:
+                _fail(errors, here, f"max_ns {mx} > total_ns {total}")
+        elif count == 0:
+            for field in ("min_ns", "max_ns"):
+                if field in span:
+                    _fail(errors, here,
+                          f'"{field}" present on an empty aggregate (count == 0)')
     keys = list(table.keys())
     if keys != sorted(keys):
         _fail(errors, where, "keys must be in sorted order")
@@ -138,10 +167,13 @@ def validate(report: object) -> list[str]:
         _fail(errors, "timing", "must be an object")
     else:
         _check_metric_table(errors, "timing.counters", timing.get("counters"))
+        _check_metric_table(errors, "timing.gauges", timing.get("gauges"))
+        _check_histograms(errors, "timing.histograms", timing.get("histograms"))
         _check_spans(errors, "timing.spans", timing.get("spans"))
 
     det_counters = det.get("counters") if isinstance(det, dict) else None
     timing_counters = timing.get("counters") if isinstance(timing, dict) else None
+    det_gauges = det.get("gauges") if isinstance(det, dict) else None
     if isinstance(det_counters, dict):
         for name in sorted(TIMING_ONLY_COUNTERS & det_counters.keys()):
             _fail(errors, f"deterministic.counters.{name}",
@@ -150,6 +182,10 @@ def validate(report: object) -> list[str]:
         for name in sorted(DETERMINISTIC_ONLY_COUNTERS & timing_counters.keys()):
             _fail(errors, f"timing.counters.{name}",
                   "is deterministic and must not sit on the timing plane")
+    if isinstance(det_gauges, dict):
+        for name in sorted(TIMING_ONLY_GAUGES & det_gauges.keys()):
+            _fail(errors, f"deterministic.gauges.{name}",
+                  "is scheduling-dependent and belongs on the timing plane")
     return errors
 
 
